@@ -1,0 +1,147 @@
+// Fig. 2 — "An example configuration".
+//
+// The figure shows two client workstations and three MCAM server entities on
+// the multiprocessor: client #1 holds two control connections, client #2
+// one; each control connection steers one CM stream. Part A reproduces that
+// exact configuration end to end and reports per-entity delivery. Part B
+// isolates the claim the figure illustrates — "all these server entities
+// can run simultaneously on a multiprocessor system" — by driving a batch
+// of control transactions through 1..32 simulated processors.
+#include <cstdio>
+
+#include "estelle/sched.hpp"
+#include "mcam/testbed.hpp"
+
+using namespace mcam;
+using common::SimTime;
+using core::Testbed;
+
+namespace {
+
+void preload(Testbed& bed, const std::string& title, std::uint64_t frames) {
+  directory::MovieEntry e;
+  e.title = title;
+  e.duration_frames = frames;
+  e.fps = 25.0;
+  e.size_bytes = frames * 8000;
+  e.location_host = bed.config().server_host;
+  (void)bed.server().directory().add(e);
+}
+
+void part_a() {
+  std::printf("== part A: the Fig. 2 configuration, end to end ==\n");
+  Testbed::Config cfg;
+  cfg.clients = 2;
+  cfg.connections_per_client = 2;
+  Testbed bed(cfg);
+  preload(bed, "movie-a", 75);
+  preload(bed, "movie-b", 75);
+  preload(bed, "movie-c", 75);
+
+  // The three server entities of the figure: (client1,conn1), (client1,conn2),
+  // (client2,conn1). The fourth wired connection stays unused.
+  struct Entity {
+    int client;
+    int conn;
+    const char* movie;
+    std::uint16_t port;
+  };
+  const Entity entities[] = {{0, 0, "movie-a", 7000},
+                             {0, 1, "movie-b", 7001},
+                             {1, 0, "movie-c", 7000}};
+
+  std::vector<core::McamClient> clients;
+  std::vector<mtp::StreamUserAgent*> suas;
+  for (const Entity& entity : entities) {
+    clients.push_back(bed.client(entity.client, entity.conn));
+    auto& client = clients.back();
+    (void)client.associate("user@client" + std::to_string(entity.client + 1));
+    auto select = client.select_movie(entity.movie);
+    suas.push_back(&bed.make_sua(entity.client, entity.port));
+    (void)client.play(select.value().movie_id,
+                      bed.client_host(entity.client), entity.port);
+  }
+  bed.advance_streams(SimTime::from_s(4));
+
+  std::printf("%8s %6s %10s %10s %12s %10s\n", "entity", "host", "movie",
+              "frames", "bytes", "jitter");
+  for (std::size_t i = 0; i < std::size(entities); ++i) {
+    const auto& s = suas[i]->stats();
+    std::printf("%8zu client%-1d %10s %10llu %12llu %8.2fms\n", i + 1,
+                entities[i].client + 1, entities[i].movie,
+                static_cast<unsigned long long>(s.frames_complete),
+                static_cast<unsigned long long>(s.bytes_received),
+                s.jitter_ms);
+  }
+  std::printf("server sessions active: %zu\n\n", bed.server().active_sessions());
+}
+
+/// Build a Fig. 2 world, pre-inject association + `requests` queries on each
+/// of the three connections, and return completion time under `processors`
+/// (0 ⇒ sequential scheduler).
+SimTime run_control_batch(int processors, int requests) {
+  Testbed::Config cfg;
+  cfg.clients = 2;
+  cfg.connections_per_client = 2;
+  Testbed bed(cfg);
+  preload(bed, "movie-a", 10);
+
+  const std::pair<int, int> conns[] = {{0, 0}, {0, 1}, {1, 0}};
+  std::vector<estelle::InteractionPoint*> inboxes;
+  for (auto [c, k] : conns) {
+    auto& app = *bed.connection(c, k).app;
+    app.mca().output(estelle::Interaction(
+        static_cast<int>(core::Op::AssociateReq),
+        core::encode(core::Pdu{core::AssociateReq{"batch", 1}})));
+    for (int i = 0; i < requests; ++i)
+      app.mca().output(estelle::Interaction(
+          static_cast<int>(core::Op::AttrQueryReq),
+          core::encode(core::Pdu{core::AttrQueryReq{1, {"title"}}})));
+    inboxes.push_back(&app.mca());
+  }
+  const std::size_t expect = static_cast<std::size_t>(requests) + 1;
+  auto done = [&] {
+    for (auto* inbox : inboxes)
+      if (inbox->queue_length() < expect) return false;
+    return true;
+  };
+
+  if (processors == 0) {
+    estelle::SequentialScheduler sched(bed.spec());
+    sched.run_until(done);
+    return sched.now();
+  }
+  estelle::ParallelSimScheduler::Config pcfg;
+  pcfg.processors = processors;
+  pcfg.mapping = estelle::Mapping::ConnectionPerProcessor;
+  estelle::ParallelSimScheduler sched(bed.spec(), pcfg);
+  sched.run_until(done);
+  return sched.now();
+}
+
+void part_b() {
+  std::printf(
+      "== part B: server entities in parallel (3 entities, 48 control\n"
+      "transactions each, connection-per-processor mapping) ==\n\n");
+  const int kRequests = 48;
+  const SimTime seq = run_control_batch(0, kRequests);
+  std::printf("%12s %14s %9s\n", "processors", "time", "speedup");
+  std::printf("%12s %11.3f ms %9s\n", "sequential", seq.millis(), "1.00x");
+  for (int procs : {1, 2, 4, 8, 32}) {
+    const SimTime t = run_control_batch(procs, kRequests);
+    std::printf("%12d %11.3f ms %8.2fx\n", procs, t.millis(),
+                static_cast<double>(seq.ns) / static_cast<double>(t.ns));
+  }
+  std::printf(
+      "\npaper reference: server entities run simultaneously on the KSR1;\n"
+      "per-connection parallelism carries the speedup, client workstations\n"
+      "(uniprocessors) bound it.\n");
+}
+
+}  // namespace
+
+int main() {
+  part_a();
+  part_b();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// §5.2 — Scheduler overhead: centralized vs decentralized.
+//
+// Paper: "For protocols with small processing time, the Estelle scheduler of
+// many available compilers becomes the bottleneck for the speedup.
+// Measurements show a runtime percentage of the scheduler of up to 80%. Our
+// scheduler shows better runtime behavior, as it is decentralized. Each part
+// only has to check the transition of one module. This can be done in
+// parallel."
+//
+// We run the §5.1 workload with per-transition work swept from heavy to
+// tiny, under (a) a centralized scheduler — selection bookkeeping serialized
+// through one shared resource — and (b) the decentralized scheduler that
+// pays the same bookkeeping on each unit in parallel. Reported: the
+// scheduler's share of total runtime and the resulting completion times.
+#include <cstdio>
+
+#include "ps_workload.hpp"
+
+using namespace mcam;
+using namespace mcam::bench;
+
+namespace {
+
+struct Measurement {
+  double share;
+  SimTime time;
+};
+
+Measurement run_with(const PsConfig& cfg, bool centralized) {
+  PsWorkload w = build_ps_workload(cfg);
+  estelle::ParallelSimScheduler::Config pcfg;
+  pcfg.processors = 8;
+  pcfg.mapping = estelle::Mapping::ConnectionPerProcessor;
+  pcfg.costs.sched_per_item = common::SimTime::from_us(15);
+  pcfg.costs.centralized_scheduler = centralized;
+  estelle::ParallelSimScheduler sched(*w.spec, pcfg);
+  const estelle::SchedulerStats stats =
+      sched.run_until([&] { return w.done(); });
+  // Centralized: the scheduler is one serialized resource; its share of the
+  // runtime is its busy fraction of the makespan (the "80%" metric).
+  // Decentralized: bookkeeping happens on each unit in parallel; its share
+  // is the fraction of total processor work spent scheduling.
+  const double share =
+      centralized
+          ? static_cast<double>(stats.sched_time.ns) /
+                static_cast<double>(stats.time.ns)
+          : stats.scheduler_share();
+  return {share, stats.time};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "§5.2 scheduler overhead — centralized vs decentralized Estelle "
+      "scheduler\n(4 connections, 64 data requests, scheduler bookkeeping "
+      "15us/transition)\n\n");
+  std::printf("%15s | %10s %12s | %10s %12s | %8s\n", "work/transition",
+              "central %", "time", "decentr %", "time", "speedup");
+
+  for (long long work_us : {500, 200, 100, 50, 20, 5, 1}) {
+    PsConfig cfg;
+    cfg.connections = 4;
+    cfg.requests = 64;
+    cfg.client_machines = 2;
+    cfg.endpoint_cost = common::SimTime::from_us(work_us);
+    cfg.layer_cost = common::SimTime::from_us(work_us);
+    // Scale the protocol-layer work too: rebuild with scaled module costs is
+    // implicit — endpoint cost dominates the initiator/responder; the OSI
+    // modules keep their own costs, so "work/transition" is the knob for the
+    // endpoints and the trend is driven by the scheduler term.
+    const Measurement central = run_with(cfg, true);
+    const Measurement decentral = run_with(cfg, false);
+    std::printf("%12lld us | %9.1f%% %9.3f ms | %9.1f%% %9.3f ms | %7.2fx\n",
+                work_us, 100.0 * central.share, central.time.millis(),
+                100.0 * decentral.share, decentral.time.millis(),
+                static_cast<double>(central.time.ns) /
+                    static_cast<double>(decentral.time.ns));
+  }
+
+  std::printf(
+      "\npaper reference: the centralized scheduler consumes up to 80%% of\n"
+      "the runtime as per-transition work shrinks; the decentralized\n"
+      "scheduler checks one module per part, in parallel, and stays faster.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Parallel server entities — the paper's §1 motivation made tangible.
+//
+// "Imagine systems in which one machine has to serve thousands of clients
+// simultaneously without noticeable performance degradation." This example
+// builds a server with many MCAM connections, pre-loads a batch of control
+// transactions on each, and executes the same workload under the sequential
+// scheduler and under the simulated multiprocessor at increasing processor
+// counts, printing the per-transaction latency as the server scales.
+//
+// Run: ./parallel_server [connections] [requests]
+#include <cstdio>
+#include <cstdlib>
+
+#include "estelle/sched.hpp"
+#include "mcam/testbed.hpp"
+
+using namespace mcam;
+using common::SimTime;
+using core::Testbed;
+
+namespace {
+
+SimTime run_batch(int clients, int conns_per_client, int requests,
+                  int processors) {
+  Testbed::Config cfg;
+  cfg.clients = clients;
+  cfg.connections_per_client = conns_per_client;
+  Testbed bed(cfg);
+  directory::MovieEntry e;
+  e.title = "movie";
+  e.duration_frames = 10;
+  e.location_host = cfg.server_host;
+  (void)bed.server().directory().add(e);
+
+  std::vector<estelle::InteractionPoint*> inboxes;
+  for (int c = 0; c < clients; ++c) {
+    for (int k = 0; k < conns_per_client; ++k) {
+      auto& app = *bed.connection(c, k).app;
+      app.mca().output(estelle::Interaction(
+          static_cast<int>(core::Op::AssociateReq),
+          core::encode(core::Pdu{core::AssociateReq{"user", 1}})));
+      for (int i = 0; i < requests; ++i)
+        app.mca().output(estelle::Interaction(
+            static_cast<int>(core::Op::AttrQueryReq),
+            core::encode(core::Pdu{core::AttrQueryReq{1, {"title"}}})));
+      inboxes.push_back(&app.mca());
+    }
+  }
+  const std::size_t expect = static_cast<std::size_t>(requests) + 1;
+  auto done = [&] {
+    for (auto* inbox : inboxes)
+      if (inbox->queue_length() < expect) return false;
+    return true;
+  };
+
+  if (processors == 0) {
+    estelle::SequentialScheduler sched(bed.spec());
+    sched.run_until(done);
+    return sched.now();
+  }
+  estelle::ParallelSimScheduler::Config pcfg;
+  pcfg.processors = processors;
+  pcfg.mapping = estelle::Mapping::ConnectionPerProcessor;
+  estelle::ParallelSimScheduler sched(bed.spec(), pcfg);
+  sched.run_until(done);
+  return sched.now();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int connections = argc > 1 ? std::atoi(argv[1]) : 12;
+  const int requests = argc > 2 ? std::atoi(argv[2]) : 32;
+  const int clients = 4;  // four uniprocessor workstations
+  const int per_client = connections / clients;
+  const int total_tx = connections * (requests + 1);
+
+  std::printf(
+      "parallel MCAM server — %d connections from %d client workstations,\n"
+      "%d control transactions per connection (%d total)\n\n",
+      connections, clients, requests + 1, total_tx);
+  std::printf("%12s %14s %16s %9s\n", "processors", "time",
+              "per transaction", "speedup");
+
+  const SimTime seq = run_batch(clients, per_client, requests, 0);
+  std::printf("%12s %11.3f ms %13.1f us %9s\n", "sequential", seq.millis(),
+              seq.micros() / total_tx, "1.00x");
+  for (int procs : {2, 4, 8, 16, 32}) {
+    const SimTime t = run_batch(clients, per_client, requests, procs);
+    std::printf("%12d %11.3f ms %13.1f us %8.2fx\n", procs, t.millis(),
+                t.micros() / total_tx,
+                static_cast<double>(seq.ns) / static_cast<double>(t.ns));
+  }
+  std::printf(
+      "\nthe KSR1 thesis of §1: adding processors to the server machine\n"
+      "absorbs more simultaneous clients at near-constant per-transaction "
+      "cost.\n");
+  return 0;
+}

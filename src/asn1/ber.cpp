@@ -1,0 +1,180 @@
+#include "asn1/ber.hpp"
+
+namespace mcam::asn1 {
+
+namespace {
+
+using common::ByteSpan;
+using common::Bytes;
+using common::Error;
+using common::Result;
+
+void emit_tag(const Value& v, Bytes& out) {
+  std::uint8_t first = static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(v.tag_class()) << 6) |
+      (v.constructed() ? 0x20 : 0x00));
+  if (v.tag() < 31) {
+    out.push_back(first | static_cast<std::uint8_t>(v.tag()));
+    return;
+  }
+  out.push_back(first | 0x1f);
+  // High-tag-number form: base-128, MSB-first, continuation bits.
+  std::uint32_t tag = v.tag();
+  Bytes chunk;
+  chunk.push_back(static_cast<std::uint8_t>(tag & 0x7f));
+  tag >>= 7;
+  while (tag != 0) {
+    chunk.push_back(static_cast<std::uint8_t>(0x80 | (tag & 0x7f)));
+    tag >>= 7;
+  }
+  out.insert(out.end(), chunk.rbegin(), chunk.rend());
+}
+
+std::size_t tag_length(const Value& v) {
+  if (v.tag() < 31) return 1;
+  std::size_t n = 1;
+  std::uint32_t tag = v.tag();
+  while (tag != 0) {
+    ++n;
+    tag >>= 7;
+  }
+  return n;
+}
+
+void emit_length(std::size_t len, Bytes& out) {
+  if (len < 128) {
+    out.push_back(static_cast<std::uint8_t>(len));
+    return;
+  }
+  Bytes chunk;
+  while (len != 0) {
+    chunk.push_back(static_cast<std::uint8_t>(len & 0xff));
+    len >>= 8;
+  }
+  out.push_back(static_cast<std::uint8_t>(0x80 | chunk.size()));
+  out.insert(out.end(), chunk.rbegin(), chunk.rend());
+}
+
+std::size_t length_length(std::size_t len) {
+  if (len < 128) return 1;
+  std::size_t n = 1;
+  while (len != 0) {
+    ++n;
+    len >>= 8;
+  }
+  return n;
+}
+
+std::size_t content_length(const Value& v) {
+  if (!v.constructed()) return v.content().size();
+  std::size_t total = 0;
+  for (const Value& c : v.children()) total += encoded_length(c);
+  return total;
+}
+
+struct Header {
+  TagClass cls;
+  std::uint32_t tag;
+  bool constructed;
+  std::size_t length;
+};
+
+Result<Header> parse_header(common::ByteReader& r) {
+  try {
+    const std::uint8_t first = r.u8();
+    Header h;
+    h.cls = static_cast<TagClass>(first >> 6);
+    h.constructed = (first & 0x20) != 0;
+    h.tag = first & 0x1f;
+    if (h.tag == 0x1f) {
+      h.tag = 0;
+      std::uint8_t octet;
+      int count = 0;
+      do {
+        octet = r.u8();
+        if (++count > 5) return Error::make(kBadTag, "tag number too large");
+        h.tag = (h.tag << 7) | (octet & 0x7f);
+      } while (octet & 0x80);
+    }
+    const std::uint8_t len0 = r.u8();
+    if (len0 < 0x80) {
+      h.length = len0;
+    } else if (len0 == 0x80) {
+      return Error::make(kBadLength, "indefinite length not supported");
+    } else {
+      const int n = len0 & 0x7f;
+      if (n > 8) return Error::make(kBadLength, "length of length too large");
+      std::size_t len = 0;
+      for (int i = 0; i < n; ++i) len = (len << 8) | r.u8();
+      h.length = len;
+    }
+    if (h.length > r.remaining())
+      return Error::make(kTruncated, "content extends past buffer");
+    return h;
+  } catch (const common::ShortReadError&) {
+    return Error::make(kTruncated, "truncated BER header");
+  }
+}
+
+Result<Value> decode_one(common::ByteReader& r, int depth) {
+  if (depth > kMaxDecodeDepth)
+    return Error::make(kDepthExceeded, "BER nesting too deep");
+  auto header = parse_header(r);
+  if (!header.ok()) return header.error();
+  const Header& h = header.value();
+  if (!h.constructed) {
+    return Value::raw(h.cls, h.tag, false, r.raw(h.length), {});
+  }
+  common::ByteReader inner(r.view(h.length));
+  std::vector<Value> children;
+  while (!inner.empty()) {
+    auto child = decode_one(inner, depth + 1);
+    if (!child.ok()) return child.error();
+    children.push_back(std::move(child).take());
+  }
+  return Value::raw(h.cls, h.tag, true, {}, std::move(children));
+}
+
+}  // namespace
+
+std::size_t encoded_length(const Value& v) {
+  const std::size_t content = content_length(v);
+  return tag_length(v) + length_length(content) + content;
+}
+
+void encode_to(const Value& v, Bytes& out) {
+  emit_tag(v, out);
+  if (!v.constructed()) {
+    emit_length(v.content().size(), out);
+    out.insert(out.end(), v.content().begin(), v.content().end());
+    return;
+  }
+  emit_length(content_length(v), out);
+  for (const Value& c : v.children()) encode_to(c, out);
+}
+
+Bytes encode(const Value& v) {
+  Bytes out;
+  out.reserve(encoded_length(v));
+  encode_to(v, out);
+  return out;
+}
+
+Result<Value> decode(ByteSpan data) {
+  common::ByteReader r(data);
+  auto v = decode_one(r, 0);
+  if (!v.ok()) return v;
+  if (!r.empty())
+    return Error::make(kTrailingBytes,
+                       std::to_string(r.remaining()) + " trailing bytes");
+  return v;
+}
+
+Result<Value> decode_prefix(ByteSpan data, std::size_t& offset) {
+  common::ByteReader r(data.subspan(offset));
+  auto v = decode_one(r, 0);
+  if (v.ok()) offset += r.position();
+  return v;
+}
+
+}  // namespace mcam::asn1

@@ -1,0 +1,40 @@
+// BER transfer syntax (ISO 8825), definite-length form.
+//
+// This is the transfer syntax the presentation layer negotiates for the MCAM
+// abstract syntax, and what the paper's generated ASN.1 encode/decode
+// routines implement. High-tag-number form and multi-octet lengths are
+// supported; indefinite length is not produced and is rejected on decode
+// (the paper's toolchain likewise emitted definite-length encodings).
+#pragma once
+
+#include <cstddef>
+
+#include "asn1/value.hpp"
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace mcam::asn1 {
+
+/// Encode a value tree to definite-length BER.
+common::Bytes encode(const Value& v);
+
+/// Append the encoding of `v` to `out` (used by the parallel encoder to
+/// splice pre-encoded child segments).
+void encode_to(const Value& v, common::Bytes& out);
+
+/// Number of octets `encode(v)` will produce (drives length-field emission).
+std::size_t encoded_length(const Value& v);
+
+/// Decode exactly one value; trailing bytes are an error.
+common::Result<Value> decode(common::ByteSpan data);
+
+/// Decode one value starting at `offset`; on success advances `offset` past
+/// it. Permits trailing data (used when PDUs are concatenated in a stream).
+common::Result<Value> decode_prefix(common::ByteSpan data,
+                                    std::size_t& offset);
+
+/// Maximum nesting depth accepted by the decoder; deeper input is rejected
+/// with kDepthExceeded rather than recursing unboundedly on hostile data.
+inline constexpr int kMaxDecodeDepth = 64;
+
+}  // namespace mcam::asn1

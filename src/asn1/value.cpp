@@ -1,0 +1,260 @@
+#include "asn1/value.hpp"
+
+#include <algorithm>
+#include "common/strf.hpp"
+
+namespace mcam::asn1 {
+
+namespace {
+
+Bytes encode_twos_complement(std::int64_t v) {
+  // Minimal-length two's complement per BER: strip redundant leading octets.
+  Bytes out;
+  bool more = true;
+  // Build little-endian then reverse.
+  std::uint64_t u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8 && more; ++i) {
+    out.push_back(static_cast<std::uint8_t>(u & 0xff));
+    const std::int64_t rest = v >> ((i + 1) * 8);
+    const bool sign_bit = (out.back() & 0x80) != 0;
+    more = !((rest == 0 && !sign_bit) || (rest == -1 && sign_bit));
+    u >>= 8;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+Value universal(UniversalTag t, bool constructed, Bytes content,
+                std::vector<Value> children = {}) {
+  return Value::raw(TagClass::Universal, static_cast<std::uint32_t>(t),
+                    constructed, std::move(content), std::move(children));
+}
+
+}  // namespace
+
+Value Value::raw(TagClass cls, std::uint32_t tag, bool constructed,
+                 Bytes content, std::vector<Value> children) {
+  Value v;
+  v.class_ = cls;
+  v.tag_ = tag;
+  v.constructed_ = constructed;
+  v.content_ = std::move(content);
+  v.children_ = std::move(children);
+  return v;
+}
+
+Value Value::boolean(bool v) {
+  return universal(UniversalTag::Boolean, false,
+                   Bytes{static_cast<std::uint8_t>(v ? 0xff : 0x00)});
+}
+
+Value Value::integer(std::int64_t v) {
+  return universal(UniversalTag::Integer, false, encode_twos_complement(v));
+}
+
+Value Value::enumerated(std::int64_t v) {
+  return universal(UniversalTag::Enumerated, false, encode_twos_complement(v));
+}
+
+Value Value::octet_string(Bytes content) {
+  return universal(UniversalTag::OctetString, false, std::move(content));
+}
+
+Value Value::ia5string(std::string_view s) {
+  return universal(UniversalTag::Ia5String, false, common::to_bytes(s));
+}
+
+Value Value::utf8string(std::string_view s) {
+  return universal(UniversalTag::Utf8String, false, common::to_bytes(s));
+}
+
+Value Value::printable(std::string_view s) {
+  return universal(UniversalTag::PrintableString, false, common::to_bytes(s));
+}
+
+Value Value::null() { return universal(UniversalTag::Null, false, {}); }
+
+Value Value::oid(std::vector<std::uint32_t> arcs) {
+  // ISO 8825 §8.19: first two arcs pack into one octet; remaining arcs are
+  // base-128 with continuation bits.
+  Bytes content;
+  if (arcs.size() >= 2) {
+    content.push_back(static_cast<std::uint8_t>(arcs[0] * 40 + arcs[1]));
+  } else if (arcs.size() == 1) {
+    content.push_back(static_cast<std::uint8_t>(arcs[0] * 40));
+  }
+  for (std::size_t i = 2; i < arcs.size(); ++i) {
+    std::uint32_t arc = arcs[i];
+    Bytes chunk;
+    chunk.push_back(static_cast<std::uint8_t>(arc & 0x7f));
+    arc >>= 7;
+    while (arc != 0) {
+      chunk.push_back(static_cast<std::uint8_t>(0x80 | (arc & 0x7f)));
+      arc >>= 7;
+    }
+    content.insert(content.end(), chunk.rbegin(), chunk.rend());
+  }
+  return universal(UniversalTag::ObjectIdentifier, false, std::move(content));
+}
+
+Value Value::sequence(std::vector<Value> children) {
+  return universal(UniversalTag::Sequence, true, {}, std::move(children));
+}
+
+Value Value::set(std::vector<Value> children) {
+  return universal(UniversalTag::Set, true, {}, std::move(children));
+}
+
+Value Value::context(std::uint32_t tag, Value inner) {
+  std::vector<Value> children;
+  children.push_back(std::move(inner));
+  return raw(TagClass::ContextSpecific, tag, true, {}, std::move(children));
+}
+
+Value Value::context_primitive(std::uint32_t tag, Bytes content) {
+  return raw(TagClass::ContextSpecific, tag, false, std::move(content), {});
+}
+
+Value Value::application(std::uint32_t tag, std::vector<Value> children) {
+  return raw(TagClass::Application, tag, true, {}, std::move(children));
+}
+
+const Value* Value::find_context(std::uint32_t t) const noexcept {
+  for (const Value& c : children_) {
+    if (c.tag_class() == TagClass::ContextSpecific && c.tag() == t) return &c;
+  }
+  return nullptr;
+}
+
+common::Result<std::int64_t> Value::as_int() const {
+  const bool int_like = is_universal(UniversalTag::Integer) ||
+                        is_universal(UniversalTag::Enumerated) ||
+                        class_ == TagClass::ContextSpecific;
+  if (!int_like || constructed_)
+    return common::Error::make(kWrongType, "not an INTEGER: " + to_string());
+  if (content_.empty() || content_.size() > 8)
+    return common::Error::make(kBadLength, "INTEGER content length invalid");
+  std::int64_t v = (content_[0] & 0x80) ? -1 : 0;
+  for (std::uint8_t octet : content_) v = (v << 8) | octet;
+  return v;
+}
+
+common::Result<bool> Value::as_bool() const {
+  if (!is_universal(UniversalTag::Boolean) || content_.size() != 1)
+    return common::Error::make(kWrongType, "not a BOOLEAN: " + to_string());
+  return content_[0] != 0;
+}
+
+common::Result<std::string> Value::as_string() const {
+  const bool string_like = is_universal(UniversalTag::Ia5String) ||
+                           is_universal(UniversalTag::Utf8String) ||
+                           is_universal(UniversalTag::PrintableString) ||
+                           is_universal(UniversalTag::GeneralizedTime) ||
+                           class_ == TagClass::ContextSpecific;
+  if (!string_like || constructed_)
+    return common::Error::make(kWrongType, "not a string: " + to_string());
+  return std::string(content_.begin(), content_.end());
+}
+
+common::Result<Bytes> Value::as_octets() const {
+  if (constructed_)
+    return common::Error::make(kWrongType,
+                               "constructed value has no content octets");
+  return content_;
+}
+
+common::Result<std::vector<std::uint32_t>> Value::as_oid() const {
+  if (!is_universal(UniversalTag::ObjectIdentifier) || content_.empty())
+    return common::Error::make(kWrongType, "not an OID: " + to_string());
+  std::vector<std::uint32_t> arcs;
+  arcs.push_back(content_[0] / 40);
+  arcs.push_back(content_[0] % 40);
+  std::uint32_t acc = 0;
+  for (std::size_t i = 1; i < content_.size(); ++i) {
+    acc = (acc << 7) | (content_[i] & 0x7f);
+    if ((content_[i] & 0x80) == 0) {
+      arcs.push_back(acc);
+      acc = 0;
+    }
+  }
+  return arcs;
+}
+
+common::Result<Value> Value::unwrap_context(std::uint32_t t) const {
+  if (!is_context(t) || !constructed_ || children_.size() != 1)
+    return common::Error::make(
+        kWrongType, common::strf("not an explicit [%u]: %s", t, to_string().c_str()));
+  return children_[0];
+}
+
+bool Value::operator==(const Value& other) const {
+  return class_ == other.class_ && tag_ == other.tag_ &&
+         constructed_ == other.constructed_ && content_ == other.content_ &&
+         children_ == other.children_;
+}
+
+std::string Value::to_string() const {
+  std::string head;
+  switch (class_) {
+    case TagClass::Universal:
+      switch (static_cast<UniversalTag>(tag_)) {
+        case UniversalTag::Boolean:
+          return content_.size() == 1 && content_[0] ? "TRUE" : "FALSE";
+        case UniversalTag::Integer:
+        case UniversalTag::Enumerated: {
+          auto v = as_int();
+          head = v.ok() ? std::to_string(v.value()) : "INTEGER<bad>";
+          return (tag_ == static_cast<std::uint32_t>(UniversalTag::Enumerated)
+                      ? "ENUM "
+                      : "") +
+                 head;
+        }
+        case UniversalTag::Null:
+          return "NULL";
+        case UniversalTag::OctetString:
+          return "OCTETS(" + common::hexdump(content_, 16) + ")";
+        case UniversalTag::Ia5String:
+        case UniversalTag::Utf8String:
+        case UniversalTag::PrintableString:
+          return '"' + std::string(content_.begin(), content_.end()) + '"';
+        case UniversalTag::ObjectIdentifier: {
+          auto arcs = as_oid();
+          if (!arcs.ok()) return "OID<bad>";
+          std::string s = "OID ";
+          for (std::size_t i = 0; i < arcs.value().size(); ++i) {
+            if (i) s += '.';
+            s += std::to_string(arcs.value()[i]);
+          }
+          return s;
+        }
+        case UniversalTag::Sequence:
+          head = "SEQUENCE";
+          break;
+        case UniversalTag::Set:
+          head = "SET";
+          break;
+        default:
+          head = common::strf("UNIVERSAL[%u]", tag_);
+      }
+      break;
+    case TagClass::Application:
+      head = common::strf("APPLICATION[%u]", tag_);
+      break;
+    case TagClass::ContextSpecific:
+      head = common::strf("[%u]", tag_);
+      break;
+    case TagClass::Private:
+      head = common::strf("PRIVATE[%u]", tag_);
+      break;
+  }
+  if (!constructed_) return head + "(" + common::hexdump(content_, 16) + ")";
+  std::string s = head + " { ";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i) s += ", ";
+    s += children_[i].to_string();
+  }
+  s += " }";
+  return s;
+}
+
+}  // namespace mcam::asn1

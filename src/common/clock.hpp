@@ -1,0 +1,62 @@
+// Simulated time.
+//
+// The reproduction replaces the paper's wall-clock measurements on a KSR1
+// multiprocessor with a deterministic simulated clock (see DESIGN.md §2).
+// Time is kept in integer nanoseconds; helpers convert to the units used in
+// experiment reports.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace mcam::common {
+
+/// A point (or span) in simulated time, nanosecond resolution.
+struct SimTime {
+  std::int64_t ns = 0;
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime o) const noexcept { return {ns + o.ns}; }
+  constexpr SimTime operator-(SimTime o) const noexcept { return {ns - o.ns}; }
+  constexpr SimTime& operator+=(SimTime o) noexcept {
+    ns += o.ns;
+    return *this;
+  }
+
+  [[nodiscard]] constexpr double micros() const noexcept { return ns / 1e3; }
+  [[nodiscard]] constexpr double millis() const noexcept { return ns / 1e6; }
+  [[nodiscard]] constexpr double seconds() const noexcept { return ns / 1e9; }
+
+  static constexpr SimTime from_ns(std::int64_t v) noexcept { return {v}; }
+  static constexpr SimTime from_us(std::int64_t v) noexcept {
+    return {v * 1000};
+  }
+  static constexpr SimTime from_ms(std::int64_t v) noexcept {
+    return {v * 1000000};
+  }
+  static constexpr SimTime from_s(double v) noexcept {
+    return {static_cast<std::int64_t>(v * 1e9)};
+  }
+};
+
+/// A monotonically advancing simulated clock owned by a simulation engine.
+class SimClock {
+ public:
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Advance to an absolute time; never moves backwards.
+  void advance_to(SimTime t) noexcept {
+    if (t > now_) now_ = t;
+  }
+  void advance_by(SimTime dt) noexcept { now_ += dt; }
+
+ private:
+  SimTime now_{};
+};
+
+/// Human-readable rendering ("12.345 ms") for experiment output.
+std::string format_duration(SimTime t);
+
+}  // namespace mcam::common

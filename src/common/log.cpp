@@ -1,0 +1,58 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "common/clock.hpp"
+
+namespace mcam::common {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mutex;
+
+constexpr const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO ";
+    case LogLevel::Warn:
+      return "WARN ";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, std::string_view component,
+              std::string_view msg) {
+  if (level < log_level()) return;
+  std::lock_guard lock(g_mutex);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+std::string format_duration(SimTime t) {
+  char buf[48];
+  if (t.ns < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(t.ns));
+  } else if (t.ns < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", t.micros());
+  } else if (t.ns < 10'000'000'000LL) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", t.millis());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", t.seconds());
+  }
+  return buf;
+}
+
+}  // namespace mcam::common

@@ -1,0 +1,40 @@
+// Minimal leveled logger.
+//
+// Protocol layers log state transitions and PDU traffic at Debug level;
+// experiments and examples log at Info. The default threshold is Warn so
+// tests and benchmarks stay quiet unless a failure is being diagnosed.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/strf.hpp"
+
+namespace mcam::common {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Sink for a fully formatted line (used directly by the macros below).
+void log_line(LogLevel level, std::string_view component, std::string_view msg);
+
+}  // namespace mcam::common
+
+#define MCAM_LOG_AT(level, component, ...)                       \
+  do {                                                           \
+    if ((level) >= ::mcam::common::log_level())                  \
+      ::mcam::common::log_line((level), (component),             \
+                               ::mcam::common::strf(__VA_ARGS__)); \
+  } while (0)
+
+#define MCAM_LOG_DEBUG(component, ...) \
+  MCAM_LOG_AT(::mcam::common::LogLevel::Debug, component, __VA_ARGS__)
+#define MCAM_LOG_INFO(component, ...) \
+  MCAM_LOG_AT(::mcam::common::LogLevel::Info, component, __VA_ARGS__)
+#define MCAM_LOG_WARN(component, ...) \
+  MCAM_LOG_AT(::mcam::common::LogLevel::Warn, component, __VA_ARGS__)
+#define MCAM_LOG_ERROR(component, ...) \
+  MCAM_LOG_AT(::mcam::common::LogLevel::Error, component, __VA_ARGS__)

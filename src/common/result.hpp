@@ -1,0 +1,89 @@
+// Result<T>: value-or-error return type used at module boundaries.
+//
+// Protocol code paths are hot; exceptions are reserved for programming errors
+// (violated Estelle structural rules, truncated reads inside codecs). All
+// expected failures — decode errors, refused connections, unknown movies —
+// travel as Result.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mcam::common {
+
+/// A failure description carried by Result. `code` values are defined by the
+/// producing subsystem (e.g. mcam::ErrorCode); `message` is for humans.
+struct Error {
+  int code = 0;
+  std::string message;
+
+  static Error make(int code, std::string message) {
+    return Error{code, std::move(message)};
+  }
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(state_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    require_ok();
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T& value() & {
+    require_ok();
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& take() && {
+    require_ok();
+    return std::get<T>(std::move(state_));
+  }
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error() on ok result");
+    return std::get<Error>(state_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  void require_ok() const {
+    if (!ok())
+      throw std::logic_error("Result::value() on error: " +
+                             std::get<Error>(state_).message);
+  }
+
+  std::variant<T, Error> state_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status ok_status() { return Status{}; }
+
+  [[nodiscard]] bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error("Status::error() on ok status");
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace mcam::common

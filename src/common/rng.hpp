@@ -1,0 +1,105 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the repository (network impairments, workload
+// generators, property tests) draws from this generator so every experiment
+// is reproducible from a single seed. xoshiro256** seeded via SplitMix64.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mcam::common {
+
+/// SplitMix64 — used only to expand a user seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, deterministic.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x4d43414d31393934ULL /* "MCAM1994" */) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift rejection-free variant is unnecessary here;
+    // modulo bias is negligible for the bounds used in this project, but we
+    // still mask off high bits for small bounds to keep tests stable.
+    return (*this)() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponential variate with the given mean (inter-arrival modelling).
+  double exponential(double mean) noexcept {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Normal variate (Box–Muller) — frame-size distributions etc.
+  double normal(double mean, double stddev) noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    spare_ = r * std::sin(theta);
+    has_spare_ = true;
+    return mean + stddev * r * std::cos(theta);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+  // Box–Muller caches one variate.
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace mcam::common

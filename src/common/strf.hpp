@@ -1,0 +1,31 @@
+// printf-style std::string formatting (this toolchain's libstdc++ predates
+// <format>).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace mcam::common {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline std::string
+strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace mcam::common

@@ -1,0 +1,109 @@
+#include "equipment/equipment.hpp"
+
+namespace mcam::equipment {
+
+using common::Error;
+using common::Result;
+
+const char* kind_name(Kind k) noexcept {
+  switch (k) {
+    case Kind::Camera:
+      return "camera";
+    case Kind::Microphone:
+      return "microphone";
+    case Kind::Speaker:
+      return "speaker";
+    case Kind::Display:
+      return "display";
+  }
+  return "?";
+}
+
+EquipmentControlAgent::EquipmentControlAgent(std::string host)
+    : host_(std::move(host)) {}
+
+std::uint32_t EquipmentControlAgent::register_device(
+    Kind kind, std::string name, std::map<std::string, int> params) {
+  Device d;
+  d.id = next_id_++;
+  d.kind = kind;
+  d.name = std::move(name);
+  d.params = std::move(params);
+  const std::uint32_t id = d.id;
+  devices_.emplace(id, std::move(d));
+  return id;
+}
+
+Result<Device> EquipmentControlAgent::status(std::uint32_t id) const {
+  auto it = devices_.find(id);
+  if (it == devices_.end())
+    return Error::make(kNoSuchDevice, "no device " + std::to_string(id));
+  return it->second;
+}
+
+std::vector<Device> EquipmentControlAgent::list(
+    std::optional<Kind> kind) const {
+  std::vector<Device> out;
+  for (const auto& [id, d] : devices_)
+    if (!kind || d.kind == *kind) out.push_back(d);
+  return out;
+}
+
+Result<CommandResult> EquipmentControlAgent::execute(
+    std::uint32_t id, Command cmd, const std::string& user,
+    const std::string& param_name, int param_value) {
+  auto it = devices_.find(id);
+  if (it == devices_.end())
+    return Error::make(kNoSuchDevice, "no device " + std::to_string(id));
+  Device& d = it->second;
+
+  const bool may_touch = d.reserved_by.empty() || d.reserved_by == user;
+
+  CommandResult result;
+  switch (cmd) {
+    case Command::PowerOn:
+      if (!may_touch) return Error::make(kDeviceBusy, "device reserved");
+      d.powered = true;
+      break;
+    case Command::PowerOff:
+      if (!may_touch) return Error::make(kDeviceBusy, "device reserved");
+      d.powered = false;
+      break;
+    case Command::SetParam: {
+      if (!may_touch) return Error::make(kDeviceBusy, "device reserved");
+      if (!d.powered)
+        return Error::make(kPoweredOff, "device is powered off");
+      if (param_value < 0 || param_value > 100)
+        return Error::make(kBadParameter, "parameter out of range 0..100");
+      auto param = d.params.find(param_name);
+      if (param == d.params.end())
+        return Error::make(kBadParameter, "no parameter " + param_name);
+      param->second = param_value;
+      result.param_value = param_value;
+      break;
+    }
+    case Command::GetStatus:
+      if (!param_name.empty()) {
+        auto param = d.params.find(param_name);
+        if (param == d.params.end())
+          return Error::make(kBadParameter, "no parameter " + param_name);
+        result.param_value = param->second;
+      }
+      break;
+    case Command::Reserve:
+      if (!d.reserved_by.empty() && d.reserved_by != user)
+        return Error::make(kDeviceBusy, "reserved by " + d.reserved_by);
+      d.reserved_by = user;
+      break;
+    case Command::Release:
+      if (d.reserved_by != user)
+        return Error::make(kNotReserved, "not reserved by " + user);
+      d.reserved_by.clear();
+      break;
+  }
+  result.powered = d.powered;
+  result.reserved_by = d.reserved_by;
+  return result;
+}
+
+}  // namespace mcam::equipment

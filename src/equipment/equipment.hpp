@@ -1,0 +1,127 @@
+// Equipment Control System (ECS): the ECA and EUA agents of Fig. 1.
+//
+// "The equipment control service enables the user to control CM equipment
+// attached to remote computer systems, e.g. speakers, cameras, and
+// microphones" (§2). The Equipment Control Agent (ECA) owns the registry of
+// devices on one host and executes commands against them; the Equipment
+// User Agent (EUA) is the client-side facade. Devices are simulated state
+// machines (power, parameters, reservation), which is all the MCAM protocol
+// observes of real 1994 hardware.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace mcam::equipment {
+
+enum class Kind { Camera, Microphone, Speaker, Display };
+
+[[nodiscard]] const char* kind_name(Kind k) noexcept;
+
+/// One piece of CM equipment.
+struct Device {
+  std::uint32_t id = 0;
+  Kind kind = Kind::Camera;
+  std::string name;
+  bool powered = false;
+  /// Device parameters, e.g. "volume", "gain", "brightness"; range 0..100.
+  std::map<std::string, int> params;
+  /// Empty = free; otherwise the reserving user.
+  std::string reserved_by;
+};
+
+enum EcsError : int {
+  kNoSuchDevice = 5001,
+  kDeviceBusy = 5002,
+  kNotReserved = 5003,
+  kBadParameter = 5004,
+  kPoweredOff = 5005,
+};
+
+/// Commands the MCAM EquipmentControl PDU can carry.
+enum class Command : int {
+  PowerOn = 0,
+  PowerOff = 1,
+  SetParam = 2,
+  GetStatus = 3,
+  Reserve = 4,
+  Release = 5,
+};
+
+struct CommandResult {
+  bool powered = false;
+  int param_value = 0;
+  std::string reserved_by;
+};
+
+/// Equipment Control Agent: device registry + command execution on one host.
+class EquipmentControlAgent {
+ public:
+  explicit EquipmentControlAgent(std::string host);
+
+  std::uint32_t register_device(Kind kind, std::string name,
+                                std::map<std::string, int> params = {});
+
+  [[nodiscard]] common::Result<Device> status(std::uint32_t id) const;
+  [[nodiscard]] std::vector<Device> list(
+      std::optional<Kind> kind = std::nullopt) const;
+
+  /// Execute a command on behalf of `user`. Reservation discipline:
+  /// PowerOn/PowerOff/SetParam require the device to be free or reserved by
+  /// `user`; Reserve fails when held by someone else; Release requires
+  /// ownership.
+  common::Result<CommandResult> execute(std::uint32_t id, Command cmd,
+                                        const std::string& user,
+                                        const std::string& param_name = {},
+                                        int param_value = 0);
+
+  [[nodiscard]] const std::string& host() const noexcept { return host_; }
+  [[nodiscard]] std::size_t device_count() const noexcept {
+    return devices_.size();
+  }
+
+ private:
+  std::string host_;
+  std::uint32_t next_id_ = 1;
+  std::map<std::uint32_t, Device> devices_;
+};
+
+/// Equipment User Agent: client facade bound to one ECA (local or remote —
+/// in the paper the binding crosses the network; here the ECA reference is
+/// delivered by the MCAM server through the control connection).
+class EquipmentUserAgent {
+ public:
+  EquipmentUserAgent(EquipmentControlAgent& eca, std::string user)
+      : eca_(eca), user_(std::move(user)) {}
+
+  common::Result<CommandResult> power_on(std::uint32_t id) {
+    return eca_.execute(id, Command::PowerOn, user_);
+  }
+  common::Result<CommandResult> power_off(std::uint32_t id) {
+    return eca_.execute(id, Command::PowerOff, user_);
+  }
+  common::Result<CommandResult> set_param(std::uint32_t id,
+                                          const std::string& name, int value) {
+    return eca_.execute(id, Command::SetParam, user_, name, value);
+  }
+  common::Result<CommandResult> reserve(std::uint32_t id) {
+    return eca_.execute(id, Command::Reserve, user_);
+  }
+  common::Result<CommandResult> release(std::uint32_t id) {
+    return eca_.execute(id, Command::Release, user_);
+  }
+  [[nodiscard]] common::Result<Device> status(std::uint32_t id) const {
+    return eca_.status(id);
+  }
+
+ private:
+  EquipmentControlAgent& eca_;
+  std::string user_;
+};
+
+}  // namespace mcam::equipment

@@ -1,0 +1,267 @@
+#include "estelle/codegen.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include "common/strf.hpp"
+#include <sstream>
+
+namespace mcam::estelle::codegen {
+
+namespace {
+
+using common::Error;
+using common::Result;
+using common::Status;
+
+/// Tokenizer: identifiers, integers, punctuation (; , .), comments `--`.
+struct Lexer {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      if (std::isspace(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      } else if (pos + 1 < text.size() && text[pos] == '-' &&
+                 text[pos + 1] == '-') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eof() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  std::string next() {
+    skip_ws();
+    if (pos >= text.size()) return {};
+    const char c = text[pos];
+    if (c == ';' || c == ',' || c == '.') {
+      ++pos;
+      return std::string(1, c);
+    }
+    std::size_t start = pos;
+    while (pos < text.size()) {
+      const char d = text[pos];
+      if (std::isalnum(static_cast<unsigned char>(d)) || d == '_') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (pos == start) {
+      ++pos;  // unknown punctuation, return as single char
+      return std::string(1, c);
+    }
+    return std::string(text.substr(start, pos - start));
+  }
+
+  std::string peek() {
+    const std::size_t saved = pos;
+    std::string tok = next();
+    pos = saved;
+    return tok;
+  }
+};
+
+Result<Attribute> parse_attribute(const std::string& word) {
+  if (word == "systemprocess") return Attribute::SystemProcess;
+  if (word == "systemactivity") return Attribute::SystemActivity;
+  if (word == "process") return Attribute::Process;
+  if (word == "activity") return Attribute::Activity;
+  return Error::make(kSyntax, "unknown module attribute '" + word + "'");
+}
+
+/// Parse "<n>us" or "<n>" (microseconds).
+Result<std::int64_t> parse_micros(Lexer& lex) {
+  std::string tok = lex.next();
+  // Token may be like "100us" or "100".
+  std::size_t i = 0;
+  while (i < tok.size() && std::isdigit(static_cast<unsigned char>(tok[i])))
+    ++i;
+  if (i == 0) return Error::make(kSyntax, "expected duration, got '" + tok + "'");
+  const std::string digits = tok.substr(0, i);
+  const std::string unit = tok.substr(i);
+  if (!unit.empty() && unit != "us")
+    return Error::make(kSyntax, "unsupported duration unit '" + unit + "'");
+  return static_cast<std::int64_t>(std::stoll(digits));
+}
+
+Status expect(Lexer& lex, const std::string& want) {
+  const std::string got = lex.next();
+  if (got != want)
+    return Error::make(kSyntax,
+                       "expected '" + want + "', got '" + got + "'");
+  return Status{};
+}
+
+Status parse_name_list(Lexer& lex, std::vector<std::string>& out) {
+  for (;;) {
+    const std::string name = lex.next();
+    if (name.empty() || name == ";" || name == ",")
+      return Error::make(kSyntax, "expected identifier in list");
+    out.push_back(name);
+    const std::string sep = lex.next();
+    if (sep == ";") return Status{};
+    if (sep != ",")
+      return Error::make(kSyntax, "expected ',' or ';' after '" + name + "'");
+  }
+}
+
+}  // namespace
+
+int MachineSpec::state_id(const std::string& name) const {
+  auto it = std::find(states.begin(), states.end(), name);
+  return it == states.end() ? -2
+                            : static_cast<int>(it - states.begin());
+}
+
+int MachineSpec::kind_id(const std::string& name) const {
+  auto it = std::find(kinds.begin(), kinds.end(), name);
+  return it == kinds.end() ? -2 : static_cast<int>(it - kinds.begin());
+}
+
+Result<MachineSpec> parse(std::string_view text) {
+  Lexer lex{text};
+  MachineSpec spec;
+
+  if (auto s = expect(lex, "module"); !s.ok()) return s.error();
+  spec.module_name = lex.next();
+  if (spec.module_name.empty())
+    return Error::make(kSyntax, "missing module name");
+  auto attr = parse_attribute(lex.next());
+  if (!attr.ok()) return attr.error();
+  spec.attribute = attr.value();
+  if (auto s = expect(lex, ";"); !s.ok()) return s.error();
+
+  while (!lex.eof()) {
+    const std::string keyword = lex.next();
+    if (keyword == "ip") {
+      if (auto s = parse_name_list(lex, spec.ips); !s.ok()) return s.error();
+    } else if (keyword == "state") {
+      if (auto s = parse_name_list(lex, spec.states); !s.ok())
+        return s.error();
+    } else if (keyword == "kind") {
+      if (auto s = parse_name_list(lex, spec.kinds); !s.ok())
+        return s.error();
+    } else if (keyword == "trans") {
+      TransitionSpec t;
+      t.name = lex.next();
+      if (t.name.empty()) return Error::make(kSyntax, "missing trans name");
+      if (auto s = expect(lex, "from"); !s.ok()) return s.error();
+      t.from_state = lex.next();
+      for (;;) {
+        const std::string clause = lex.next();
+        if (clause == ";") break;
+        if (clause == "when") {
+          t.ip = lex.next();
+          if (auto s = expect(lex, "."); !s.ok()) return s.error();
+          t.kind = lex.next();
+        } else if (clause == "delay") {
+          auto v = parse_micros(lex);
+          if (!v.ok()) return v.error();
+          t.delay_us = v.value();
+        } else if (clause == "priority") {
+          const std::string p = lex.next();
+          t.priority = std::stoi(p);
+        } else if (clause == "cost") {
+          auto v = parse_micros(lex);
+          if (!v.ok()) return v.error();
+          t.cost_us = v.value();
+        } else if (clause == "to") {
+          t.to_state = lex.next();
+        } else {
+          return Error::make(kSyntax, "unknown clause '" + clause + "'");
+        }
+      }
+      spec.transitions.push_back(std::move(t));
+    } else {
+      return Error::make(kSyntax, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (spec.states.empty())
+    return Error::make(kSyntax, "module has no states");
+
+  // Semantic checks: every reference resolves.
+  for (const TransitionSpec& t : spec.transitions) {
+    if (spec.state_id(t.from_state) < 0 && t.from_state != "any")
+      return Error::make(kUnknownSymbol, "unknown state '" + t.from_state +
+                                             "' in trans " + t.name);
+    if (!t.to_state.empty() && spec.state_id(t.to_state) < 0)
+      return Error::make(kUnknownSymbol,
+                         "unknown state '" + t.to_state + "' in trans " +
+                             t.name);
+    if (!t.ip.empty() &&
+        std::find(spec.ips.begin(), spec.ips.end(), t.ip) == spec.ips.end())
+      return Error::make(kUnknownSymbol,
+                         "unknown ip '" + t.ip + "' in trans " + t.name);
+    if (!t.kind.empty() && spec.kind_id(t.kind) < 0)
+      return Error::make(kUnknownSymbol,
+                         "unknown kind '" + t.kind + "' in trans " + t.name);
+    if (!t.ip.empty() && t.delay_us > 0)
+      return Error::make(kSyntax, "trans " + t.name +
+                                      " combines when- and delay-clauses");
+  }
+  return spec;
+}
+
+Status instantiate(const MachineSpec& spec, Module& target,
+                   const ActionMap& actions) {
+  for (const std::string& name : spec.ips) target.ip(name);
+  target.set_state(0);  // states[0] is initial
+
+  for (const TransitionSpec& t : spec.transitions) {
+    auto builder = target.trans(t.name);
+    if (t.from_state != "any") builder.from(spec.state_id(t.from_state));
+    if (!t.to_state.empty()) builder.to(spec.state_id(t.to_state));
+    if (!t.ip.empty()) {
+      InteractionPoint* ip = target.find_ip(t.ip);
+      if (ip == nullptr)
+        return Error::make(kUnknownSymbol, "ip '" + t.ip + "' not found");
+      builder.when(*ip, t.kind.empty() ? kAnyKind : spec.kind_id(t.kind));
+    }
+    if (t.delay_us > 0) builder.delay(common::SimTime::from_us(t.delay_us));
+    builder.priority(t.priority);
+    builder.cost(common::SimTime::from_us(t.cost_us));
+    auto it = actions.find(t.name);
+    if (it != actions.end()) {
+      builder.action(it->second);
+    } else {
+      builder.action([](Module&, const Interaction*) {});
+    }
+  }
+  return Status{};
+}
+
+std::string render_cpp(const MachineSpec& spec) {
+  std::ostringstream out;
+  out << "// generated from Estelle module " << spec.module_name << " ("
+      << attribute_name(spec.attribute) << ")\n";
+  out << "enum State {";
+  for (std::size_t i = 0; i < spec.states.size(); ++i)
+    out << (i ? ", " : " ") << spec.states[i] << " = " << i;
+  out << " };\n";
+  out << "enum Kind {";
+  for (std::size_t i = 0; i < spec.kinds.size(); ++i)
+    out << (i ? ", " : " ") << spec.kinds[i] << " = " << i;
+  out << " };\n";
+  out << "static const TransitionRow kTable[] = {\n";
+  for (const TransitionSpec& t : spec.transitions) {
+    out << common::strf(
+        "  {\"%s\", /*from*/%d, /*to*/%d, /*ip*/\"%s\", /*kind*/%d, "
+        "/*prio*/%d, /*delay_us*/%lld, /*cost_us*/%lld},\n",
+        t.name.c_str(), spec.state_id(t.from_state),
+        t.to_state.empty() ? -1 : spec.state_id(t.to_state), t.ip.c_str(),
+        t.kind.empty() ? -1 : spec.kind_id(t.kind), t.priority,
+        static_cast<long long>(t.delay_us), static_cast<long long>(t.cost_us));
+  }
+  out << "};\n";
+  return out.str();
+}
+
+}  // namespace mcam::estelle::codegen

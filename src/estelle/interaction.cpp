@@ -1,0 +1,79 @@
+#include "estelle/interaction.hpp"
+
+#include <stdexcept>
+
+#include "estelle/module.hpp"
+
+namespace mcam::estelle {
+
+InteractionPoint::InteractionPoint(Module& owner, std::string name)
+    : owner_(owner), name_(std::move(name)) {}
+
+InteractionPoint::~InteractionPoint() { disconnect(*this); }
+
+namespace {
+thread_local OutputCapture* t_capture = nullptr;
+}  // namespace
+
+OutputCapture::~OutputCapture() {
+  if (t_capture == this) t_capture = nullptr;
+}
+
+void OutputCapture::begin() {
+  if (t_capture != nullptr)
+    throw std::logic_error("nested OutputCapture on one thread");
+  t_capture = this;
+}
+
+void OutputCapture::end() noexcept {
+  if (t_capture == this) t_capture = nullptr;
+}
+
+void OutputCapture::commit() {
+  for (auto& [ip, msg] : items_) ip->deliver(std::move(msg));
+  items_.clear();
+}
+
+bool InteractionPoint::output(Interaction msg) {
+  if (peer_ == nullptr)
+    throw std::logic_error("output on unconnected interaction point '" +
+                           name_ + "' of module '" + owner_.path() + "'");
+  ++sent_;
+  if (loss_probability_ > 0.0 && loss_rng_ != nullptr &&
+      loss_rng_->chance(loss_probability_)) {
+    ++dropped_;
+    return false;
+  }
+  if (t_capture != nullptr) {
+    t_capture->items_.emplace_back(peer_, std::move(msg));
+    return true;
+  }
+  peer_->deliver(std::move(msg));
+  return true;
+}
+
+Interaction InteractionPoint::pop() {
+  if (inbox_.empty())
+    throw std::logic_error("pop on empty interaction point '" + name_ + "'");
+  Interaction msg = std::move(inbox_.front());
+  inbox_.pop_front();
+  return msg;
+}
+
+void connect(InteractionPoint& a, InteractionPoint& b) {
+  if (a.connected() || b.connected())
+    throw std::logic_error("interaction point already connected: " +
+                           (a.connected() ? a.name() : b.name()));
+  if (&a == &b) throw std::logic_error("cannot connect IP to itself");
+  a.attach_peer(&b);
+  b.attach_peer(&a);
+}
+
+void disconnect(InteractionPoint& ip) noexcept {
+  if (InteractionPoint* peer = ip.peer()) {
+    peer->attach_peer(nullptr);
+    ip.attach_peer(nullptr);
+  }
+}
+
+}  // namespace mcam::estelle

@@ -1,0 +1,143 @@
+// Estelle interactions, interaction points and channels (ISO 9074 §5).
+//
+// Estelle modules communicate exclusively by exchanging *interactions* over
+// bidirectional *channels* attached to *interaction points* (IPs). Each IP
+// owns a FIFO queue of arrived interactions; per Estelle semantics only the
+// queue head is offered to the module's `when` clauses.
+//
+// A channel here is simply the pairing of two IPs (connect()). Channels can
+// carry impairments (loss, delay) so protocol experiments can inject faults
+// below a layer without a full network simulation — this stands in for the
+// paper's "simulated transport layer pipe" (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "asn1/value.hpp"
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace mcam::estelle {
+
+using common::Bytes;
+using common::SimTime;
+
+/// Matches any interaction kind in a `when` clause.
+inline constexpr int kAnyKind = -1;
+/// Matches any FSM state in a `from` clause.
+inline constexpr int kAnyState = -1;
+
+/// One Estelle interaction: a kind (the interaction name in the channel
+/// definition) plus parameters. Structured parameters travel as an ASN.1
+/// value; opaque user data (PDUs of the layer above) as payload octets.
+struct Interaction {
+  int kind = 0;
+  asn1::Value value;
+  Bytes payload;
+
+  Interaction() = default;
+  explicit Interaction(int k) : kind(k) {}
+  Interaction(int k, Bytes p) : kind(k), payload(std::move(p)) {}
+  Interaction(int k, asn1::Value v) : kind(k), value(std::move(v)) {}
+  Interaction(int k, asn1::Value v, Bytes p)
+      : kind(k), value(std::move(v)), payload(std::move(p)) {}
+};
+
+class Module;
+
+/// An interaction point. Owned by a module; optionally connected to exactly
+/// one peer IP (full-duplex).
+class InteractionPoint {
+ public:
+  InteractionPoint(Module& owner, std::string name);
+  ~InteractionPoint();
+
+  InteractionPoint(const InteractionPoint&) = delete;
+  InteractionPoint& operator=(const InteractionPoint&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Module& owner() const noexcept { return owner_; }
+  [[nodiscard]] InteractionPoint* peer() const noexcept { return peer_; }
+  [[nodiscard]] bool connected() const noexcept { return peer_ != nullptr; }
+
+  /// Send an interaction to the peer's queue. Unconnected output is a
+  /// specification error and throws. Returns false if the channel dropped
+  /// the interaction (loss injection).
+  bool output(Interaction msg);
+
+  // ---- receive side ----
+  [[nodiscard]] bool has_input() const noexcept { return !inbox_.empty(); }
+  [[nodiscard]] const Interaction* head() const noexcept {
+    return inbox_.empty() ? nullptr : &inbox_.front();
+  }
+  Interaction pop();
+  [[nodiscard]] std::size_t queue_length() const noexcept {
+    return inbox_.size();
+  }
+  void clear() noexcept { inbox_.clear(); }
+
+  /// Fault injection on this IP's *outgoing* direction.
+  void set_loss(double probability, common::Rng* rng) noexcept {
+    loss_probability_ = probability;
+    loss_rng_ = rng;
+  }
+
+  // Used by connect()/disconnect() free functions.
+  void attach_peer(InteractionPoint* peer) noexcept { peer_ = peer; }
+  void deliver(Interaction msg) { inbox_.push_back(std::move(msg)); }
+
+  /// Statistics for Table-1 style reliability measurements.
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  Module& owner_;
+  std::string name_;
+  InteractionPoint* peer_ = nullptr;
+  std::deque<Interaction> inbox_;
+  double loss_probability_ = 0.0;
+  common::Rng* loss_rng_ = nullptr;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Connect two interaction points with a channel. Both must be unconnected.
+void connect(InteractionPoint& a, InteractionPoint& b);
+
+/// Tear down the channel between `ip` and its peer (idempotent).
+void disconnect(InteractionPoint& ip) noexcept;
+
+/// While alive on a thread, outputs on that thread are recorded instead of
+/// delivered; commit() hands them to the peers. The ThreadedScheduler uses
+/// one capture per firing candidate and commits in deterministic candidate
+/// order after the parallel join, making real-thread execution race-free
+/// and bit-identical to sequential execution.
+class OutputCapture {
+ public:
+  OutputCapture() = default;
+  ~OutputCapture();
+  OutputCapture(const OutputCapture&) = delete;
+  OutputCapture& operator=(const OutputCapture&) = delete;
+
+  /// Install on the calling thread; outputs are recorded until end().
+  void begin();
+  void end() noexcept;
+
+  /// Deliver all captured interactions, in output order. Call after end(),
+  /// from a single thread.
+  void commit();
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+
+ private:
+  friend class InteractionPoint;
+  std::vector<std::pair<InteractionPoint*, Interaction>> items_;
+};
+
+}  // namespace mcam::estelle

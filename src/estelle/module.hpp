@@ -1,0 +1,299 @@
+// Estelle modules: hierarchy, attributes, transitions (ISO 9074).
+//
+// This is the runtime the paper's Pet/Dingo-derived code generator would
+// emit into. §4 of the paper spells out Estelle's structural rules; all of
+// them are enforced here (violations throw EstelleRuleError at construction
+// time, the moment a specification becomes illegal):
+//
+//   R1  every active module has one of the four attributes; modules without
+//       an attribute (Inactive) carry no transitions;
+//   R2  a system module cannot be contained in another attributed module;
+//   R3  each process/activity module is contained, perhaps indirectly, in a
+//       system module;
+//   R4  process / systemprocess modules may contain process or activity
+//       children;
+//   R5  activity / systemactivity modules may only contain activity
+//       children;
+//   R6  system modules are static: exactly one instance of each is created
+//       at initialization and none can be created afterwards (enforced by
+//       Specification::initialize() freezing the system-module population);
+//   R7  a module instance can only be created/destroyed by its parent.
+//
+// Scheduling semantics (parent precedence, process-parallel vs
+// activity-exclusive children) live in sched.hpp.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "estelle/interaction.hpp"
+
+namespace mcam::estelle {
+
+/// Estelle module attributes (§4 of the paper). `Inactive` represents an
+/// unattributed structuring module (e.g. the specification root).
+enum class Attribute {
+  SystemProcess,
+  SystemActivity,
+  Process,
+  Activity,
+  Inactive,
+};
+
+[[nodiscard]] constexpr bool is_system(Attribute a) noexcept {
+  return a == Attribute::SystemProcess || a == Attribute::SystemActivity;
+}
+[[nodiscard]] constexpr bool is_process_like(Attribute a) noexcept {
+  return a == Attribute::SystemProcess || a == Attribute::Process;
+}
+[[nodiscard]] constexpr bool is_activity_like(Attribute a) noexcept {
+  return a == Attribute::SystemActivity || a == Attribute::Activity;
+}
+[[nodiscard]] const char* attribute_name(Attribute a) noexcept;
+
+/// Violation of an Estelle structural rule — a specification bug, hence an
+/// exception rather than a Result.
+class EstelleRuleError : public std::logic_error {
+ public:
+  explicit EstelleRuleError(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+class Module;
+
+/// One Estelle transition. Fireability (evaluated by schedulers):
+///   state matches `from`  ∧  (spontaneous ∨ head-of-queue kind matches)
+///   ∧ provided(head)  ∧  (spontaneous ⇒ delay elapsed since state entry).
+/// Among fireable transitions of one module, the lowest `priority` value
+/// wins; declaration order breaks ties.
+struct Transition {
+  std::string name;
+  int from_state = kAnyState;
+  int to_state = kAnyState;  // kAnyState ⇒ no state change
+  InteractionPoint* ip = nullptr;  // nullptr ⇒ spontaneous
+  int kind = kAnyKind;
+  std::function<bool(Module&, const Interaction*)> provided;  // optional
+  int priority = 0;
+  common::SimTime delay{};  // spontaneous transitions only
+  common::SimTime cost = common::SimTime::from_us(10);  // simulated exec time
+  std::function<void(Module&, const Interaction*)> action;  // required
+};
+
+/// Fluent builder; `.action(...)` finalizes and registers the transition.
+class TransitionBuilder {
+ public:
+  TransitionBuilder(Module& module, std::string name);
+
+  TransitionBuilder& from(int state) {
+    t_.from_state = state;
+    return *this;
+  }
+  TransitionBuilder& to(int state) {
+    t_.to_state = state;
+    return *this;
+  }
+  /// `when ip.<kind>` clause.
+  TransitionBuilder& when(InteractionPoint& ip, int kind = kAnyKind) {
+    t_.ip = &ip;
+    t_.kind = kind;
+    return *this;
+  }
+  TransitionBuilder& provided(
+      std::function<bool(Module&, const Interaction*)> p) {
+    t_.provided = std::move(p);
+    return *this;
+  }
+  TransitionBuilder& priority(int p) {
+    t_.priority = p;
+    return *this;
+  }
+  TransitionBuilder& delay(common::SimTime d) {
+    t_.delay = d;
+    return *this;
+  }
+  TransitionBuilder& cost(common::SimTime c) {
+    t_.cost = c;
+    return *this;
+  }
+  void action(std::function<void(Module&, const Interaction*)> a);
+
+ private:
+  Module& module_;
+  Transition t_;
+};
+
+/// Transition-selection strategy (§5.2 of the paper): LinearScan models the
+/// generator emitting one big hard-coded if/else chain; StateTable models the
+/// state-indexed transition table that wins once a module has more than ~4
+/// transitions.
+enum class DispatchKind { LinearScan, StateTable };
+
+class Specification;
+
+/// Base class for all Estelle modules. Subclasses declare IPs and
+/// transitions in their constructor (or in on_init()).
+class Module {
+ public:
+  Module(std::string name, Attribute attribute);
+  virtual ~Module();
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // ---- identity / tree -------------------------------------------------
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::string path() const;
+  [[nodiscard]] Attribute attribute() const noexcept { return attribute_; }
+  [[nodiscard]] Module* parent() const noexcept { return parent_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Module>>& children()
+      const noexcept {
+    return children_;
+  }
+  [[nodiscard]] std::uint64_t instance_id() const noexcept { return id_; }
+
+  /// Create a child module (rule R7: only via the parent). Enforces R1–R6.
+  /// Returns a reference owned by this module.
+  template <typename T, typename... Args>
+  T& create_child(Args&&... args) {
+    auto child = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *child;
+    adopt(std::move(child));
+    return ref;
+  }
+
+  /// Destroy a child subtree (rule R7). All IPs in the subtree are
+  /// disconnected first so no dangling channel remains.
+  void release_child(Module& child);
+
+  /// Recursively count modules in this subtree (including this one).
+  [[nodiscard]] std::size_t subtree_size() const noexcept;
+
+  // ---- interaction points ----------------------------------------------
+  /// Declare (or retrieve) an interaction point by name.
+  InteractionPoint& ip(const std::string& name);
+  [[nodiscard]] InteractionPoint* find_ip(const std::string& name) noexcept;
+  [[nodiscard]] const std::vector<std::unique_ptr<InteractionPoint>>& ips()
+      const noexcept {
+    return ips_;
+  }
+
+  // ---- state machine -----------------------------------------------------
+  [[nodiscard]] int state() const noexcept { return state_; }
+  void set_state(int s) noexcept { state_ = s; }
+  [[nodiscard]] common::SimTime state_entered_at() const noexcept {
+    return state_entered_at_;
+  }
+  void note_state_entry(common::SimTime t) noexcept { state_entered_at_ = t; }
+
+  TransitionBuilder trans(std::string name = {}) {
+    return TransitionBuilder(*this, std::move(name));
+  }
+  void add_transition(Transition t);
+  [[nodiscard]] const std::vector<Transition>& transitions() const noexcept {
+    return transitions_;
+  }
+
+  [[nodiscard]] DispatchKind dispatch() const noexcept { return dispatch_; }
+  void set_dispatch(DispatchKind k) noexcept {
+    dispatch_ = k;
+    index_dirty_ = true;
+  }
+
+  /// Select the fireable transition of *this module only* (no tree rules),
+  /// honoring priority and declaration order. Returns nullptr if none.
+  /// `now` drives delay clauses. Cost of the scan depends on dispatch():
+  /// callers that model selection cost can use scan_effort() afterwards.
+  [[nodiscard]] const Transition* select_fireable(common::SimTime now);
+
+  /// Number of transition guards examined by the last select_fireable()
+  /// call — the quantity the §5.2 dispatch experiment varies.
+  [[nodiscard]] int last_scan_effort() const noexcept { return scan_effort_; }
+
+  // ---- lifecycle ----------------------------------------------------------
+  /// Called by Specification::initialize() (top-down) and by adopt() for
+  /// dynamically created modules after the tree link is in place.
+  virtual void on_init() {}
+
+  [[nodiscard]] Specification* specification() const noexcept { return spec_; }
+
+  /// The paper places each system module on a machine via comments in the
+  /// Estelle source (§4.1); client machines are single-processor
+  /// workstations while the server is the KSR1 multiprocessor (§3). Marking
+  /// a system module as a uniprocessor host makes every parallel scheduler
+  /// run its whole subtree on one unit, whatever the mapping policy.
+  void set_uniprocessor_host(bool v) noexcept { uniprocessor_host_ = v; }
+  [[nodiscard]] bool uniprocessor_host() const noexcept {
+    return uniprocessor_host_;
+  }
+
+  /// Nearest ancestor (or self) that is a system module; nullptr if none.
+  [[nodiscard]] Module* owning_system_module() noexcept;
+
+  /// Walk the subtree, depth-first, calling f on every module.
+  void for_each(const std::function<void(Module&)>& f);
+
+ private:
+  friend class Specification;
+
+  void adopt(std::unique_ptr<Module> child);
+  void check_child_rules(const Module& child) const;
+  void set_specification(Specification* spec) noexcept;
+  void rebuild_index();
+
+  std::string name_;
+  Attribute attribute_;
+  Module* parent_ = nullptr;
+  Specification* spec_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::vector<std::unique_ptr<Module>> children_;
+  std::vector<std::unique_ptr<InteractionPoint>> ips_;
+  std::vector<Transition> transitions_;
+  int state_ = 0;
+  common::SimTime state_entered_at_{};
+  DispatchKind dispatch_ = DispatchKind::StateTable;
+  // Precomputed dispatch structures (what the code generator would emit):
+  // the full (priority, declaration)-sorted chain, and per-state buckets
+  // indexed directly by the state number plus one kAnyState bucket.
+  std::vector<int> linear_order_;
+  std::vector<std::vector<int>> state_buckets_;
+  std::vector<int> any_bucket_;
+  bool index_dirty_ = true;
+  int scan_effort_ = 0;
+  bool initialized_ = false;
+  bool uniprocessor_host_ = false;
+};
+
+/// True iff `t` can fire in module `m` at time `now` (state, head-of-queue,
+/// provided guard, delay clause). Shared by all schedulers and by fire()'s
+/// revalidation.
+[[nodiscard]] bool is_fireable(const Transition& t, Module& m,
+                               common::SimTime now);
+
+/// The specification root: an Inactive module owning the system-module
+/// forest. After initialize(), creating further system modules anywhere in
+/// the tree violates rule R6 and throws.
+class Specification {
+ public:
+  explicit Specification(std::string name);
+
+  [[nodiscard]] Module& root() noexcept { return *root_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Freeze the system-module population and run on_init() hooks top-down.
+  void initialize();
+  [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+
+  /// All system modules in document order (stable across the run, R6).
+  [[nodiscard]] std::vector<Module*> system_modules();
+
+ private:
+  std::string name_;
+  std::unique_ptr<Module> root_;
+  bool initialized_ = false;
+};
+
+}  // namespace mcam::estelle

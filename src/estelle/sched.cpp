@@ -1,0 +1,349 @@
+#include "estelle/sched.hpp"
+
+#include "estelle/trace.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <thread>
+
+namespace mcam::estelle {
+
+namespace {
+
+constexpr SimTime kNever{std::numeric_limits<std::int64_t>::max()};
+
+/// Collect at most one candidate from an activity subtree (all modules in it
+/// are activity-attributed, so sequential by definition).
+bool collect_single(Module& m, SimTime now, std::vector<FiringCandidate>& out,
+                    int& effort) {
+  if (const Transition* t = m.select_fireable(now)) {
+    effort += m.last_scan_effort();
+    out.push_back({&m, t});
+    return true;
+  }
+  effort += m.last_scan_effort();
+  for (auto& child : m.children())
+    if (collect_single(*child, now, out, effort)) return true;
+  return false;
+}
+
+void collect(Module& m, SimTime now, std::vector<FiringCandidate>& out,
+             int& effort) {
+  // Parent precedence: if this module can fire, its whole subtree is blocked.
+  if (const Transition* t = m.select_fireable(now)) {
+    effort += m.last_scan_effort();
+    out.push_back({&m, t});
+    return;
+  }
+  effort += m.last_scan_effort();
+  if (is_process_like(m.attribute())) {
+    // Children of a process-like parent run in parallel.
+    for (auto& child : m.children()) collect(*child, now, out, effort);
+  } else {
+    // Children of an activity-like parent are mutually exclusive: take one
+    // candidate from the first child subtree that offers one.
+    for (auto& child : m.children())
+      if (collect_single(*child, now, out, effort)) return;
+  }
+}
+
+/// Earliest future time at which a currently-blocked delay transition could
+/// become fireable (state and guard permitting); kNever if none.
+SimTime next_delay_wakeup(Specification& spec, SimTime now) {
+  SimTime best = kNever;
+  spec.root().for_each([&](Module& m) {
+    for (const Transition& t : m.transitions()) {
+      if (t.ip != nullptr || t.delay.ns == 0) continue;
+      if (t.from_state != kAnyState && t.from_state != m.state()) continue;
+      if (t.provided && !t.provided(m, nullptr)) continue;
+      const SimTime ready = m.state_entered_at() + t.delay;
+      if (ready > now && ready < best) best = ready;
+    }
+  });
+  return best;
+}
+
+}  // namespace
+
+std::vector<FiringCandidate> collect_firing_set(Module& system_module,
+                                                SimTime now,
+                                                int* scan_effort) {
+  std::vector<FiringCandidate> out;
+  int effort = 0;
+  collect(system_module, now, out, effort);
+  if (scan_effort != nullptr) *scan_effort += effort;
+  return out;
+}
+
+void fire(const FiringCandidate& c, SimTime now) {
+  Module& m = *c.module;
+  const Transition& t = *c.transition;
+  if (TraceRecorder* recorder = TraceRecorder::current())
+    recorder->note_fire(m, t, now);
+  std::optional<Interaction> msg;
+  const Interaction* head = nullptr;
+  if (t.ip != nullptr) {
+    msg = t.ip->pop();
+    head = &*msg;
+  }
+  t.action(m, head);
+  if (t.to_state != kAnyState) {
+    m.set_state(t.to_state);
+    m.note_state_entry(now);
+  }
+}
+
+const char* mapping_name(Mapping m) noexcept {
+  switch (m) {
+    case Mapping::ThreadPerModule:
+      return "thread-per-module";
+    case Mapping::GroupedUnits:
+      return "grouped-units";
+    case Mapping::ConnectionPerProcessor:
+      return "connection-per-processor";
+    case Mapping::LayerPerProcessor:
+      return "layer-per-processor";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// SequentialScheduler
+
+SequentialScheduler::SequentialScheduler(Specification& spec)
+    : SequentialScheduler(spec, Config{}) {}
+
+SequentialScheduler::SequentialScheduler(Specification& spec, Config cfg)
+    : spec_(spec), cfg_(cfg) {}
+
+bool SequentialScheduler::step() {
+  int effort = 0;
+  std::vector<FiringCandidate> candidates;
+  for (Module* sm : spec_.system_modules()) {
+    auto v = collect_firing_set(*sm, now_, &effort);
+    candidates.insert(candidates.end(), v.begin(), v.end());
+  }
+  const SimTime scan_cost{cfg_.scan_per_guard.ns * effort};
+  now_ += scan_cost;
+  stats_.sched_time += scan_cost;
+
+  if (candidates.empty()) {
+    // Advance virtual time to the next delay-transition wakeup, if any.
+    const SimTime wake = next_delay_wakeup(spec_, now_);
+    if (wake == kNever) return false;
+    now_ = wake;
+    return true;
+  }
+
+  for (const FiringCandidate& c : candidates) {
+    // Revalidate: an earlier firing in this round may have consumed state.
+    if (!is_fireable(*c.transition, *c.module, now_)) continue;
+    now_ += cfg_.sched_per_transition;
+    stats_.sched_time += cfg_.sched_per_transition;
+    now_ += c.transition->cost;
+    stats_.busy += c.transition->cost;
+    fire(c, now_);
+    ++stats_.fired;
+  }
+  ++stats_.rounds;
+  return true;
+}
+
+SchedulerStats SequentialScheduler::run() {
+  return run_until([] { return false; });
+}
+
+SchedulerStats SequentialScheduler::run_until(
+    const std::function<bool()>& done) {
+  std::uint64_t steps = 0;
+  while (!done() && steps++ < cfg_.max_steps) {
+    if (!step()) break;
+  }
+  stats_.time = now_;
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// ParallelSimScheduler
+
+ParallelSimScheduler::ParallelSimScheduler(Specification& spec, Config cfg)
+    : spec_(spec), cfg_(cfg), engine_(cfg.processors, cfg.costs) {
+  if (cfg_.mapping == Mapping::GroupedUnits) {
+    // Exactly one unit per processor, created up front; modules round-robin
+    // onto them (§5.2's grouping scheme).
+    for (int p = 0; p < cfg_.processors; ++p)
+      engine_.add_task("unit" + std::to_string(p), p);
+  }
+}
+
+int ParallelSimScheduler::unit_of(Module& m) {
+  std::uint64_t key = 0;
+  // A uniprocessor host (client workstation, §3) runs its whole system
+  // subtree on one unit regardless of the mapping policy. The high bit
+  // keeps these keys out of the policy key spaces below.
+  if (Module* sys = m.owning_system_module();
+      sys != nullptr && sys->uniprocessor_host()) {
+    key = (1ULL << 63) | sys->instance_id();
+    auto it = unit_by_module_.find(key);
+    if (it == unit_by_module_.end()) {
+      const int task =
+          engine_.add_task("host" + std::to_string(sys->instance_id()), -1);
+      it = unit_by_module_.emplace(key, task).first;
+    }
+    return it->second;
+  }
+  switch (cfg_.mapping) {
+    case Mapping::ThreadPerModule:
+      key = m.instance_id();
+      break;
+    case Mapping::GroupedUnits:
+      return static_cast<int>(m.instance_id() %
+                              static_cast<std::uint64_t>(cfg_.processors));
+    case Mapping::ConnectionPerProcessor: {
+      // Unit = the subtree rooted at a direct child of a system module (one
+      // "connection"); the system module itself is its own unit.
+      Module* cursor = &m;
+      while (cursor->parent() != nullptr &&
+             !is_system(cursor->attribute()) &&
+             !is_system(cursor->parent()->attribute()))
+        cursor = cursor->parent();
+      key = cursor->instance_id();
+      break;
+    }
+    case Mapping::LayerPerProcessor: {
+      // Unit = depth below the owning system module (protocol layer).
+      std::uint64_t depth = 0;
+      for (Module* cursor = &m;
+           cursor->parent() != nullptr && !is_system(cursor->attribute());
+           cursor = cursor->parent())
+        ++depth;
+      key = depth;
+      break;
+    }
+  }
+  auto it = unit_by_module_.find(key);
+  if (it == unit_by_module_.end()) {
+    const int task = engine_.add_task("unit" + std::to_string(key), -1);
+    it = unit_by_module_.emplace(key, task).first;
+  }
+  return it->second;
+}
+
+bool ParallelSimScheduler::step() {
+  int effort = 0;
+  std::vector<FiringCandidate> candidates;
+  for (Module* sm : spec_.system_modules()) {
+    auto v = collect_firing_set(*sm, now_, &effort);
+    candidates.insert(candidates.end(), v.begin(), v.end());
+  }
+  if (candidates.empty()) {
+    const SimTime wake = next_delay_wakeup(spec_, now_);
+    if (wake == kNever) return false;
+    now_ = wake;
+    return true;
+  }
+
+  for (const FiringCandidate& c : candidates) {
+    const int unit = unit_of(*c.module);
+    const SimTime when = now_;
+    engine_.post_external(
+        unit, c.transition->cost,
+        [this, c](sim::Context& ctx) {
+          if (!is_fireable(*c.transition, *c.module, ctx.now())) return;
+          fire(c, ctx.now());
+          ++stats_.fired;
+        },
+        when);
+  }
+  const sim::RunStats s = engine_.run();
+  now_ = s.makespan > now_ ? s.makespan : now_;
+  ++stats_.rounds;
+  return true;
+}
+
+SchedulerStats ParallelSimScheduler::run() {
+  return run_until([] { return false; });
+}
+
+SchedulerStats ParallelSimScheduler::run_until(
+    const std::function<bool()>& done) {
+  std::uint64_t rounds = 0;
+  while (!done() && rounds++ < cfg_.max_rounds) {
+    if (!step()) break;
+  }
+  const sim::RunStats& s = engine_.stats();
+  stats_.time = now_;
+  stats_.busy = s.busy;
+  stats_.sched_time = s.sched_time;
+  stats_.switch_time = s.switch_time;
+  stats_.msg_time = s.msg_time;
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadedScheduler
+
+ThreadedScheduler::ThreadedScheduler(Specification& spec)
+    : ThreadedScheduler(spec, Config{}) {}
+
+ThreadedScheduler::ThreadedScheduler(Specification& spec, Config cfg)
+    : spec_(spec), cfg_(cfg) {}
+
+bool ThreadedScheduler::step() {
+  int effort = 0;
+  std::vector<FiringCandidate> candidates;
+  for (Module* sm : spec_.system_modules()) {
+    auto v = collect_firing_set(*sm, now_, &effort);
+    candidates.insert(candidates.end(), v.begin(), v.end());
+  }
+  if (candidates.empty()) {
+    const SimTime wake = next_delay_wakeup(spec_, now_);
+    if (wake == kNever) return false;
+    now_ = wake;
+    return true;
+  }
+
+  // Execute candidates in parallel; outputs captured per candidate and
+  // committed afterwards in candidate order (deterministic).
+  const std::size_t n = candidates.size();
+  std::vector<OutputCapture> captures(n);
+  const int nthreads =
+      std::max(1, std::min<int>(cfg_.threads, static_cast<int>(n)));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(nthreads));
+  const SimTime fire_time = now_;
+  for (int w = 0; w < nthreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (std::size_t i = static_cast<std::size_t>(w); i < n;
+           i += static_cast<std::size_t>(nthreads)) {
+        captures[i].begin();
+        fire(candidates[i], fire_time);
+        captures[i].end();
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (auto& cap : captures) cap.commit();
+
+  stats_.fired += n;
+  ++stats_.rounds;
+  now_ += SimTime::from_us(1);  // nominal round tick so delay clauses advance
+  return true;
+}
+
+SchedulerStats ThreadedScheduler::run() {
+  return run_until([] { return false; });
+}
+
+SchedulerStats ThreadedScheduler::run_until(
+    const std::function<bool()>& done) {
+  std::uint64_t rounds = 0;
+  while (!done() && rounds++ < cfg_.max_rounds) {
+    if (!step()) break;
+  }
+  stats_.time = now_;
+  return stats_;
+}
+
+}  // namespace mcam::estelle

@@ -1,0 +1,55 @@
+#include "estelle/trace.hpp"
+
+#include <atomic>
+
+#include "common/log.hpp"
+#include "estelle/module.hpp"
+
+namespace mcam::estelle {
+
+namespace {
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+}  // namespace
+
+void TraceRecorder::install(TraceRecorder* recorder) noexcept {
+  g_recorder.store(recorder);
+}
+
+TraceRecorder* TraceRecorder::current() noexcept { return g_recorder.load(); }
+
+void TraceRecorder::note_fire(const Module& module,
+                              const Transition& transition,
+                              common::SimTime now) {
+  TraceEvent event;
+  event.when = now;
+  event.module_path = module.path();
+  event.transition = transition.name;
+  event.from_state = module.state();
+  event.to_state =
+      transition.to_state == kAnyState ? module.state() : transition.to_state;
+  event.sequence = next_sequence_++;
+  events_.push_back(std::move(event));
+}
+
+std::string TraceRecorder::to_string(std::size_t max_events) const {
+  std::string out;
+  const std::size_t n = std::min(events_.size(), max_events);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[i];
+    out += common::strf("[%10.3f us] %s :: %s (%d -> %d)\n", e.when.micros(),
+                        e.module_path.c_str(), e.transition.c_str(),
+                        e.from_state, e.to_state);
+  }
+  if (events_.size() > max_events)
+    out += common::strf("... %zu more events\n", events_.size() - max_events);
+  return out;
+}
+
+std::vector<std::string> TraceRecorder::transition_names() const {
+  std::vector<std::string> out;
+  out.reserve(events_.size());
+  for (const TraceEvent& e : events_) out.push_back(e.transition);
+  return out;
+}
+
+}  // namespace mcam::estelle

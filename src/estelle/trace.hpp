@@ -1,0 +1,74 @@
+// Execution tracing for Estelle runs.
+//
+// The paper's toolchain generated executable specifications "for validation
+// purposes" before efficient runtime code (§4.2); validating a run means
+// seeing which transitions fired, in what order, with what queue states.
+// TraceRecorder captures exactly that: schedulers call note_fire() (via the
+// install/uninstall hooks) and tests/tools inspect or pretty-print the
+// event list. Deterministic schedulers ⇒ byte-stable traces, so golden
+// traces make strong regression tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace mcam::estelle {
+
+class Module;
+struct Transition;
+
+struct TraceEvent {
+  common::SimTime when{};
+  std::string module_path;
+  std::string transition;
+  int from_state = 0;
+  int to_state = 0;
+  std::uint64_t sequence = 0;
+};
+
+class TraceRecorder {
+ public:
+  /// Install as the global trace sink (only one at a time; RAII-style usage
+  /// recommended: install in the ctor of a test fixture, uninstall in the
+  /// dtor). Passing nullptr uninstalls.
+  static void install(TraceRecorder* recorder) noexcept;
+  static TraceRecorder* current() noexcept;
+
+  void note_fire(const Module& module, const Transition& transition,
+                 common::SimTime now);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  void clear() noexcept { events_.clear(); }
+
+  /// One line per event: "[time] path :: transition (s -> s')".
+  [[nodiscard]] std::string to_string(std::size_t max_events = 200) const;
+
+  /// Names of transitions fired, in order — the usual golden-trace payload.
+  [[nodiscard]] std::vector<std::string> transition_names() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+/// RAII installer.
+class ScopedTrace {
+ public:
+  ScopedTrace() { TraceRecorder::install(&recorder_); }
+  ~ScopedTrace() { TraceRecorder::install(nullptr); }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+  [[nodiscard]] TraceRecorder& recorder() noexcept { return recorder_; }
+
+ private:
+  TraceRecorder recorder_;
+};
+
+}  // namespace mcam::estelle

@@ -1,0 +1,174 @@
+#include "mcam/client.hpp"
+
+#include "mcam/mca.hpp"
+
+namespace mcam::core {
+
+using common::Error;
+using common::Result;
+using estelle::Interaction;
+
+Result<Pdu> McamClient::call(const Pdu& request, Op expect) {
+  auto& channel = app_.mca();
+  channel.output(
+      Interaction(static_cast<int>(op_of(request)), encode(request)));
+
+  for (;;) {
+    scheduler_.run_until([&] { return channel.has_input(); });
+    if (!channel.has_input())
+      return Error::make(kNoResponse,
+                         std::string("no response to ") +
+                             op_name(op_of(request)) + " (world quiescent)");
+    Interaction msg = channel.pop();
+    auto response = decode(msg.payload);
+    if (!response.ok()) return response.error();
+
+    // Stash unsolicited notifications and keep waiting.
+    if (std::holds_alternative<PositionInd>(response.value())) {
+      notifications_.push_back(std::get<PositionInd>(response.value()));
+      continue;
+    }
+    if (std::holds_alternative<ErrorResp>(response.value()) &&
+        expect != Op::ErrorResp) {
+      const auto& err = std::get<ErrorResp>(response.value());
+      return Error::make(kRequestFailed,
+                         std::string(result_name(err.result)) + ": " +
+                             err.diagnostic);
+    }
+    if (op_of(response.value()) != expect)
+      return Error::make(kUnexpectedResponse,
+                         std::string("expected ") + op_name(expect) +
+                             ", got " + op_name(op_of(response.value())));
+    return response;
+  }
+}
+
+template <typename T>
+Result<T> McamClient::typed_call(const Pdu& request, Op expect) {
+  auto response = call(request, expect);
+  if (!response.ok()) return response.error();
+  return std::get<T>(std::move(response).take());
+}
+
+Result<MovieSearchResp> McamClient::search_movies(
+    const directory::Filter& filter, bool chained) {
+  return typed_call<MovieSearchResp>(Pdu{MovieSearchReq{filter, chained}},
+                                     Op::MovieSearchResp);
+}
+
+std::size_t McamClient::poll_notifications() {
+  auto& channel = app_.mca();
+  const std::size_t before = notifications_.size();
+  for (;;) {
+    scheduler_.run_until([&] { return channel.has_input(); });
+    if (!channel.has_input()) break;
+    // Only consume while the head is a notification; anything else belongs
+    // to a future call().
+    auto op = peek_op(channel.head()->payload);
+    if (!op.ok() || op.value() != Op::PositionInd) break;
+    auto decoded = decode(channel.pop().payload);
+    if (decoded.ok() &&
+        std::holds_alternative<PositionInd>(decoded.value()))
+      notifications_.push_back(std::get<PositionInd>(decoded.value()));
+  }
+  return notifications_.size() - before;
+}
+
+Result<AssociateResp> McamClient::associate(const std::string& user) {
+  auto resp = typed_call<AssociateResp>(Pdu{AssociateReq{user, 1}},
+                                        Op::AssociateResp);
+  if (!resp.ok()) return resp;
+  if (resp.value().result != ResultCode::Success)
+    return Error::make(kRequestFailed,
+                       std::string("association refused: ") +
+                           resp.value().diagnostic);
+  return resp;
+}
+
+void McamClient::abort() {
+  app_.mca().output(Interaction(kAppAbort));
+  scheduler_.run();  // let the abort cascade settle on both sides
+  app_.mca().clear();  // drop any stale responses from the dead association
+}
+
+Result<ReleaseResp> McamClient::release() {
+  return typed_call<ReleaseResp>(Pdu{ReleaseReq{}}, Op::ReleaseResp);
+}
+
+Result<MovieCreateResp> McamClient::create_movie(
+    const std::string& title, const std::vector<Attr>& attrs) {
+  return typed_call<MovieCreateResp>(Pdu{MovieCreateReq{title, attrs}},
+                                     Op::MovieCreateResp);
+}
+
+Result<MovieDeleteResp> McamClient::delete_movie(std::uint64_t movie_id) {
+  return typed_call<MovieDeleteResp>(Pdu{MovieDeleteReq{movie_id}},
+                                     Op::MovieDeleteResp);
+}
+
+Result<MovieSelectResp> McamClient::select_movie(const std::string& title) {
+  return typed_call<MovieSelectResp>(Pdu{MovieSelectReq{title}},
+                                     Op::MovieSelectResp);
+}
+
+Result<AttrQueryResp> McamClient::query_attributes(
+    std::uint64_t movie_id, const std::vector<std::string>& names) {
+  return typed_call<AttrQueryResp>(Pdu{AttrQueryReq{movie_id, names}},
+                                   Op::AttrQueryResp);
+}
+
+Result<AttrModifyResp> McamClient::modify_attributes(
+    std::uint64_t movie_id, const std::vector<Attr>& attrs) {
+  return typed_call<AttrModifyResp>(Pdu{AttrModifyReq{movie_id, attrs}},
+                                    Op::AttrModifyResp);
+}
+
+Result<PlayResp> McamClient::play(std::uint64_t movie_id,
+                                  const std::string& dest_host,
+                                  std::uint16_t dest_port,
+                                  std::uint64_t start_frame,
+                                  std::uint32_t qos_max_delay_ms,
+                                  std::uint32_t qos_max_jitter_ms) {
+  return typed_call<PlayResp>(
+      Pdu{PlayReq{movie_id, start_frame, dest_host, dest_port,
+                  qos_max_delay_ms, qos_max_jitter_ms}},
+      Op::PlayResp);
+}
+
+Result<StopResp> McamClient::stop(std::uint64_t movie_id) {
+  return typed_call<StopResp>(Pdu{StopReq{movie_id}}, Op::StopResp);
+}
+
+Result<PauseResp> McamClient::pause(std::uint64_t movie_id) {
+  return typed_call<PauseResp>(Pdu{PauseReq{movie_id}}, Op::PauseResp);
+}
+
+Result<ResumeResp> McamClient::resume(std::uint64_t movie_id) {
+  return typed_call<ResumeResp>(Pdu{ResumeReq{movie_id}}, Op::ResumeResp);
+}
+
+Result<RecordResp> McamClient::record(const std::string& title,
+                                      std::uint32_t equipment_id,
+                                      const std::vector<Attr>& attrs) {
+  return typed_call<RecordResp>(Pdu{RecordReq{title, equipment_id, attrs}},
+                                Op::RecordResp);
+}
+
+Result<RecordStopResp> McamClient::record_stop(std::uint64_t movie_id) {
+  return typed_call<RecordStopResp>(Pdu{RecordStopReq{movie_id}},
+                                    Op::RecordStopResp);
+}
+
+Result<EquipListResp> McamClient::list_equipment(int kind) {
+  return typed_call<EquipListResp>(Pdu{EquipListReq{kind}}, Op::EquipListResp);
+}
+
+Result<EquipControlResp> McamClient::control_equipment(
+    std::uint32_t equipment_id, int command, const std::string& param,
+    int value) {
+  return typed_call<EquipControlResp>(
+      Pdu{EquipControlReq{equipment_id, command, param, value}},
+      Op::EquipControlResp);
+}
+
+}  // namespace mcam::core

@@ -1,0 +1,190 @@
+#include "mtp/colormap.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mcam::mtp {
+
+namespace {
+
+using common::Bytes;
+using common::Error;
+using common::Result;
+
+constexpr int kRBits = 3, kGBits = 3, kBBits = 2;
+
+int bin_of(const Rgb& p) noexcept {
+  return (p.r >> (8 - kRBits)) << (kGBits + kBBits) |
+         (p.g >> (8 - kGBits)) << kBBits | (p.b >> (8 - kBBits));
+}
+
+int distance2(const Rgb& a, const Rgb& b) noexcept {
+  const int dr = a.r - b.r;
+  const int dg = a.g - b.g;
+  const int db = a.b - b.b;
+  return dr * dr + dg * dg + db * db;
+}
+
+}  // namespace
+
+Colormap build_colormap(const RgbImage& image, std::size_t entries) {
+  // Accumulate per-bin occupancy and color sums (centroid quantization).
+  struct Bin {
+    std::uint64_t count = 0;
+    std::uint64_t r = 0, g = 0, b = 0;
+    int id = 0;
+  };
+  std::map<int, Bin> bins;
+  for (const Rgb& p : image.pixels) {
+    Bin& bin = bins[bin_of(p)];
+    ++bin.count;
+    bin.r += p.r;
+    bin.g += p.g;
+    bin.b += p.b;
+  }
+  std::vector<Bin> ordered;
+  ordered.reserve(bins.size());
+  for (auto& [id, bin] : bins) {
+    bin.id = id;
+    ordered.push_back(bin);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const Bin& a, const Bin& b) {
+    return a.count != b.count ? a.count > b.count : a.id < b.id;
+  });
+  if (ordered.size() > entries) ordered.resize(entries);
+
+  Colormap map;
+  map.reserve(ordered.size());
+  for (const Bin& bin : ordered)
+    map.push_back(Rgb{static_cast<std::uint8_t>(bin.r / bin.count),
+                      static_cast<std::uint8_t>(bin.g / bin.count),
+                      static_cast<std::uint8_t>(bin.b / bin.count)});
+  if (map.empty()) map.push_back(Rgb{0, 0, 0});
+  return map;
+}
+
+std::vector<std::uint8_t> encode_frame(const RgbImage& image,
+                                       const Colormap& map) {
+  std::vector<std::uint8_t> indices;
+  indices.reserve(image.size());
+  for (const Rgb& p : image.pixels) {
+    int best = 0;
+    int best_d = distance2(p, map[0]);
+    for (std::size_t i = 1; i < map.size(); ++i) {
+      const int d = distance2(p, map[i]);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(i);
+      }
+    }
+    indices.push_back(static_cast<std::uint8_t>(best));
+  }
+  return indices;
+}
+
+Result<RgbImage> decode_frame(int width, int height,
+                              const std::vector<std::uint8_t>& indices,
+                              const Colormap& map) {
+  if (static_cast<std::size_t>(width) * static_cast<std::size_t>(height) !=
+      indices.size())
+    return Error::make(1, "index count does not match dimensions");
+  if (map.empty()) return Error::make(2, "empty colormap");
+  RgbImage out;
+  out.width = width;
+  out.height = height;
+  out.pixels.reserve(indices.size());
+  for (std::uint8_t idx : indices) {
+    if (idx >= map.size()) return Error::make(3, "index out of palette");
+    out.pixels.push_back(map[idx]);
+  }
+  return out;
+}
+
+double mean_squared_error(const RgbImage& a, const RgbImage& b) {
+  if (a.size() != b.size() || a.size() == 0) return 1e18;
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += distance2(a.pixels[i], b.pixels[i]);
+  return acc / (3.0 * static_cast<double>(a.size()));
+}
+
+Bytes pack_colormap_frame(int width, int height,
+                          const std::vector<std::uint8_t>& indices,
+                          const Colormap* palette_update) {
+  common::ByteWriter w;
+  w.u8(palette_update != nullptr ? kHasPalette : 0);
+  w.u16(static_cast<std::uint16_t>(width));
+  w.u16(static_cast<std::uint16_t>(height));
+  if (palette_update != nullptr) {
+    w.u16(static_cast<std::uint16_t>(palette_update->size()));
+    for (const Rgb& c : *palette_update) {
+      w.u8(c.r);
+      w.u8(c.g);
+      w.u8(c.b);
+    }
+  }
+  w.raw(common::ByteSpan{indices.data(), indices.size()});
+  return std::move(w).take();
+}
+
+Result<ColormapFrameView> unpack_colormap_frame(const Bytes& raw) {
+  try {
+    common::ByteReader r(raw);
+    ColormapFrameView v;
+    const std::uint8_t flags = r.u8();
+    v.width = r.u16();
+    v.height = r.u16();
+    v.has_palette = (flags & kHasPalette) != 0;
+    if (v.has_palette) {
+      const std::size_t n = r.u16();
+      if (n == 0 || n > 256)
+        return Error::make(4, "palette size out of range");
+      v.palette.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        Rgb c;
+        c.r = r.u8();
+        c.g = r.u8();
+        c.b = r.u8();
+        v.palette.push_back(c);
+      }
+    }
+    const std::size_t npix = static_cast<std::size_t>(v.width) *
+                             static_cast<std::size_t>(v.height);
+    if (r.remaining() != npix)
+      return Error::make(5, "index payload size mismatch");
+    const Bytes idx = r.raw(npix);
+    v.indices.assign(idx.begin(), idx.end());
+    return v;
+  } catch (const common::ShortReadError&) {
+    return Error::make(6, "truncated colormap frame");
+  }
+}
+
+Bytes ColormapStream::encode(const RgbImage& frame) {
+  bool update = palette_.empty();
+  if (!update) {
+    // Cheap drift check: quantize with the current palette and measure MSE.
+    const auto indices = encode_frame(frame, palette_);
+    auto rebuilt = decode_frame(frame.width, frame.height, indices, palette_);
+    update = !rebuilt.ok() ||
+             mean_squared_error(frame, rebuilt.value()) > cfg_.refit_threshold;
+    if (!update) return pack_colormap_frame(frame.width, frame.height,
+                                            indices, nullptr);
+  }
+  palette_ = build_colormap(frame, cfg_.entries);
+  ++palette_updates_;
+  const auto indices = encode_frame(frame, palette_);
+  return pack_colormap_frame(frame.width, frame.height, indices, &palette_);
+}
+
+Result<RgbImage> ColormapStreamDecoder::decode(const Bytes& raw) {
+  auto view = unpack_colormap_frame(raw);
+  if (!view.ok()) return view.error();
+  if (view.value().has_palette) palette_ = view.value().palette;
+  if (palette_.empty())
+    return Error::make(7, "no palette received yet");
+  return decode_frame(view.value().width, view.value().height,
+                      view.value().indices, palette_);
+}
+
+}  // namespace mcam::mtp

@@ -1,0 +1,118 @@
+// XMovie colormap coding.
+//
+// XMovie ([21], Lamparter & Effelsberg) presents digital movies under X11 by
+// transmitting colormap-indexed frames: a palette of up to 256 RGB entries
+// plus one index byte per pixel, with palette updates sent in-stream when
+// the scene changes. That is the "Colormap" movie format of the directory
+// schema. This module implements the codec:
+//
+//   * build_colormap(): uniform-quantization palette fitted to a frame
+//     (3-3-2 RGB bins refined by occupancy — cheap, 1994-appropriate);
+//   * encode_frame(): RGB24 → indices against a palette, nearest-entry;
+//   * decode_frame(): indices + palette → RGB24;
+//   * ColormapStream: stateful encoder that re-fits and re-emits the
+//     palette only when drift exceeds a threshold (the in-stream "colormap
+//     update" of XMovie).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace mcam::mtp {
+
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+  bool operator==(const Rgb&) const = default;
+};
+
+/// An RGB24 image (row-major, width*height pixels).
+struct RgbImage {
+  int width = 0;
+  int height = 0;
+  std::vector<Rgb> pixels;
+
+  [[nodiscard]] std::size_t size() const noexcept { return pixels.size(); }
+};
+
+using Colormap = std::vector<Rgb>;  // ≤ 256 entries
+
+/// Fit a palette of at most `entries` colors to the image: bin pixels into
+/// the 3-3-2 RGB lattice, keep the most populated bins (bin centroid as the
+/// palette color), always at least one entry.
+Colormap build_colormap(const RgbImage& image, std::size_t entries = 256);
+
+/// Index every pixel against the palette (nearest entry, squared-distance).
+std::vector<std::uint8_t> encode_frame(const RgbImage& image,
+                                       const Colormap& map);
+
+/// Reconstruct an RGB image from indices + palette.
+common::Result<RgbImage> decode_frame(int width, int height,
+                                      const std::vector<std::uint8_t>& indices,
+                                      const Colormap& map);
+
+/// Mean squared error per channel between two equally-sized images — the
+/// quantization-quality metric tests assert on.
+double mean_squared_error(const RgbImage& a, const RgbImage& b);
+
+/// Wire form of one colormap-coded frame:
+///   [ flags:1 ][ width:2 ][ height:2 ]
+///   [ palette_count:2 ][ palette: 3*count ]   -- only if kHasPalette
+///   [ indices: width*height ]
+enum ColormapFrameFlags : std::uint8_t { kHasPalette = 0x01 };
+
+common::Bytes pack_colormap_frame(int width, int height,
+                                  const std::vector<std::uint8_t>& indices,
+                                  const Colormap* palette_update);
+struct ColormapFrameView {
+  int width = 0;
+  int height = 0;
+  bool has_palette = false;
+  Colormap palette;
+  std::vector<std::uint8_t> indices;
+};
+common::Result<ColormapFrameView> unpack_colormap_frame(
+    const common::Bytes& raw);
+
+/// Stateful stream encoder: emits palette updates only when the current
+/// palette's error on a new frame exceeds `refit_threshold` (MSE), as
+/// XMovie re-sends its colormap on scene changes.
+class ColormapStream {
+ public:
+  struct Config {
+    std::size_t entries = 256;
+    double refit_threshold = 120.0;  // MSE triggering a palette update
+  };
+
+  ColormapStream() : ColormapStream(Config{}) {}
+  explicit ColormapStream(Config cfg) : cfg_(cfg) {}
+
+  /// Encode a frame; includes a palette update when (re)fitted.
+  common::Bytes encode(const RgbImage& frame);
+
+  [[nodiscard]] std::uint64_t palette_updates() const noexcept {
+    return palette_updates_;
+  }
+  [[nodiscard]] const Colormap& palette() const noexcept { return palette_; }
+
+ private:
+  Config cfg_;
+  Colormap palette_;
+  std::uint64_t palette_updates_ = 0;
+};
+
+/// Stateful stream decoder: remembers the last palette across frames.
+class ColormapStreamDecoder {
+ public:
+  common::Result<RgbImage> decode(const common::Bytes& raw);
+
+ private:
+  Colormap palette_;
+};
+
+}  // namespace mcam::mtp

@@ -1,0 +1,210 @@
+#include "mtp/mtp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcam::mtp {
+
+using common::ByteReader;
+using common::ByteWriter;
+
+Bytes build_packet(const PacketHeader& h, common::ByteSpan payload) {
+  ByteWriter w;
+  w.u16(h.stream);
+  w.u32(h.seq);
+  w.u32(h.frame);
+  w.u16(h.frag);
+  w.u16(h.nfrags);
+  w.u8(h.flags);
+  w.u64(static_cast<std::uint64_t>(h.capture_ts_ns));
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+common::Result<PacketView> parse_packet(const Bytes& raw) {
+  if (raw.size() < kHeaderSize)
+    return common::Error::make(1, "MTP packet shorter than header");
+  ByteReader r(raw);
+  PacketView v;
+  v.header.stream = r.u16();
+  v.header.seq = r.u32();
+  v.header.frame = r.u32();
+  v.header.frag = r.u16();
+  v.header.nfrags = r.u16();
+  v.header.flags = r.u8();
+  v.header.capture_ts_ns = static_cast<std::int64_t>(r.u64());
+  v.payload = r.raw(r.remaining());
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// FrameSource
+
+std::optional<FrameSource::Frame> FrameSource::next() {
+  if (exhausted()) return std::nullopt;
+  Frame f;
+  f.number = next_frame_++;
+  f.intra = cfg_.gop > 0 && (f.number % static_cast<std::uint64_t>(cfg_.gop)) == 0;
+
+  double size = rng_.normal(static_cast<double>(cfg_.mean_frame_bytes),
+                            static_cast<double>(cfg_.stddev_bytes));
+  if (f.intra) size *= cfg_.intra_scale;
+  const std::size_t bytes = static_cast<std::size_t>(
+      std::max(64.0, std::min(size, 4.0 * 1024 * 1024)));
+
+  // Deterministic pattern: frame number mixed with position, so receivers
+  // can verify payload integrity after reassembly.
+  f.data.resize(bytes);
+  for (std::size_t i = 0; i < bytes; ++i)
+    f.data[i] = static_cast<std::uint8_t>((f.number * 131 + i * 31) & 0xff);
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// StreamSender
+
+StreamSender::StreamSender(net::Socket& socket, net::Address dest,
+                           FrameSource source)
+    : StreamSender(socket, std::move(dest), std::move(source), Config{}) {}
+
+StreamSender::StreamSender(net::Socket& socket, net::Address dest,
+                           FrameSource source, Config cfg)
+    : socket_(socket),
+      dest_(std::move(dest)),
+      source_(std::move(source)),
+      cfg_(cfg) {}
+
+void StreamSender::resume(SimTime now) noexcept {
+  if (!paused_) return;
+  paused_ = false;
+  next_tick_ = now;
+}
+
+void StreamSender::send_frame(const FrameSource::Frame& frame, SimTime now) {
+  const std::size_t mtu = cfg_.mtu_payload;
+  const std::size_t nfrags = std::max<std::size_t>(1, (frame.data.size() + mtu - 1) / mtu);
+  for (std::size_t frag = 0; frag < nfrags; ++frag) {
+    const std::size_t offset = frag * mtu;
+    const std::size_t len = std::min(mtu, frame.data.size() - offset);
+    PacketHeader h;
+    h.stream = cfg_.stream_id;
+    h.seq = next_seq_++;
+    h.frame = static_cast<std::uint32_t>(frame.number);
+    h.frag = static_cast<std::uint16_t>(frag);
+    h.nfrags = static_cast<std::uint16_t>(nfrags);
+    h.flags = frame.intra ? kFlagIntra : 0;
+    if (source_.exhausted() && frag == nfrags - 1)
+      h.flags |= kFlagEndOfStream;
+    h.capture_ts_ns = now.ns;
+    Bytes packet = build_packet(
+        h, common::ByteSpan{frame.data.data() + offset, len});
+    stats_.bytes_sent += packet.size();
+    ++stats_.packets_sent;
+    socket_.send(dest_, std::move(packet));
+  }
+  ++stats_.frames_sent;
+}
+
+std::size_t StreamSender::step(SimTime now) {
+  if (paused_ || finished_) return 0;
+  if (!started_) {
+    started_ = true;
+    next_tick_ = now;
+  }
+  std::size_t packets_before = stats_.packets_sent;
+  while (next_tick_ <= now && !finished_) {
+    auto frame = source_.next();
+    if (!frame) {
+      finished_ = true;
+      break;
+    }
+    send_frame(*frame, next_tick_);
+    next_tick_ += source_.frame_interval();
+  }
+  return stats_.packets_sent - packets_before;
+}
+
+// ---------------------------------------------------------------------------
+// StreamReceiver
+
+StreamReceiver::StreamReceiver(net::Socket& socket)
+    : StreamReceiver(socket, Config{}) {}
+
+StreamReceiver::StreamReceiver(net::Socket& socket, Config cfg)
+    : socket_(socket), cfg_(cfg) {}
+
+void StreamReceiver::complete(std::uint32_t frame, PartialFrame& pf,
+                              SimTime now) {
+  Bytes data;
+  for (auto& [frag, bytes] : pf.frags)
+    data.insert(data.end(), bytes.begin(), bytes.end());
+  ++stats_.frames_complete;
+  stats_.bytes_received += data.size();
+
+  const SimTime deadline = SimTime::from_ns(pf.capture_ts_ns) +
+                           cfg_.playout_delay;
+  if (now > deadline) ++stats_.frames_late;
+  if (pf.flags & kFlagEndOfStream) stats_.end_of_stream = true;
+  if (sink_) sink_(frame, data, (pf.flags & kFlagIntra) != 0);
+}
+
+void StreamReceiver::evict_stale(std::uint32_t newest_frame) {
+  // Give up on frames more than reorder_window behind: lightweight error
+  // handling — damaged frames are dropped, never retransmitted.
+  while (!partial_.empty()) {
+    auto it = partial_.begin();
+    if (newest_frame - it->first <= cfg_.reorder_window) break;
+    ++stats_.frames_damaged;
+    partial_.erase(it);
+  }
+}
+
+std::size_t StreamReceiver::poll(SimTime now) {
+  std::size_t completed = 0;
+  while (auto datagram = socket_.receive()) {
+    auto parsed = parse_packet(datagram->payload);
+    if (!parsed.ok()) continue;
+    PacketView& pkt = parsed.value();
+    ++stats_.packets_received;
+
+    // Loss detection, RFC 3550 style: expected = highest - first + 1; a
+    // reordered packet that arrives late is not double-counted as lost.
+    if (!first_seq_) first_seq_ = pkt.header.seq;
+    if (!highest_seq_ || pkt.header.seq > *highest_seq_)
+      highest_seq_ = pkt.header.seq;
+    const std::uint64_t expected = *highest_seq_ - *first_seq_ + 1;
+    stats_.packets_lost =
+        expected > stats_.packets_received ? expected - stats_.packets_received
+                                           : 0;
+
+    // Delay / jitter accounting (transit = delivery - capture).
+    const double transit_ms =
+        (datagram->delivered_at - SimTime::from_ns(pkt.header.capture_ts_ns))
+            .millis();
+    delay_accum_ms_ += transit_ms;
+    ++delay_samples_;
+    stats_.mean_delay_ms = delay_accum_ms_ / static_cast<double>(delay_samples_);
+    if (have_transit_) {
+      const double d = std::abs(transit_ms - last_transit_ms_);
+      stats_.jitter_ms += (d - stats_.jitter_ms) / 16.0;  // RFC 3550 §6.4.1
+    }
+    last_transit_ms_ = transit_ms;
+    have_transit_ = true;
+
+    PartialFrame& pf = partial_[pkt.header.frame];
+    pf.nfrags = pkt.header.nfrags;
+    pf.flags |= pkt.header.flags;
+    pf.capture_ts_ns = pkt.header.capture_ts_ns;
+    pf.frags[pkt.header.frag] = std::move(pkt.payload);
+
+    if (pf.frags.size() == pf.nfrags) {
+      complete(pkt.header.frame, pf, now);
+      partial_.erase(pkt.header.frame);
+      ++completed;
+    }
+    evict_stale(pkt.header.frame);
+  }
+  return completed;
+}
+
+}  // namespace mcam::mtp

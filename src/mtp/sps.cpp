@@ -1,0 +1,83 @@
+#include "mtp/sps.hpp"
+
+namespace mcam::mtp {
+
+using common::Error;
+using common::Result;
+using common::Status;
+
+StreamProviderAgent::StreamProviderAgent(net::SimNetwork& net,
+                                         std::string host,
+                                         std::uint16_t first_port)
+    : net_(net), host_(std::move(host)), next_port_(first_port) {}
+
+std::uint16_t StreamProviderAgent::open_stream(FrameSource source,
+                                               const net::Address& dest,
+                                               std::uint64_t start_frame) {
+  const std::uint16_t id = next_stream_id_++;
+  Entry entry;
+  entry.socket = &net_.open(net::Address{host_, next_port_++});
+  source.seek(start_frame);
+  StreamSender::Config cfg;
+  cfg.stream_id = id;
+  entry.sender = std::make_unique<StreamSender>(*entry.socket, dest,
+                                                std::move(source), cfg);
+  streams_.emplace(id, std::move(entry));
+  return id;
+}
+
+Status StreamProviderAgent::pause(std::uint16_t stream) {
+  auto it = streams_.find(stream);
+  if (it == streams_.end())
+    return Error::make(kUnknownStream, "unknown stream");
+  it->second.sender->pause();
+  return Status{};
+}
+
+Status StreamProviderAgent::resume(std::uint16_t stream) {
+  auto it = streams_.find(stream);
+  if (it == streams_.end())
+    return Error::make(kUnknownStream, "unknown stream");
+  it->second.sender->resume(net_.now());
+  return Status{};
+}
+
+Result<std::uint64_t> StreamProviderAgent::stop(std::uint16_t stream) {
+  auto it = streams_.find(stream);
+  if (it == streams_.end())
+    return Error::make(kUnknownStream, "unknown stream");
+  const std::uint64_t pos = it->second.sender->current_frame();
+  streams_.erase(it);
+  return pos;
+}
+
+Result<std::uint64_t> StreamProviderAgent::position(
+    std::uint16_t stream) const {
+  auto it = streams_.find(stream);
+  if (it == streams_.end())
+    return Error::make(kUnknownStream, "unknown stream");
+  return it->second.sender->current_frame();
+}
+
+Result<SenderStats> StreamProviderAgent::stats(std::uint16_t stream) const {
+  auto it = streams_.find(stream);
+  if (it == streams_.end())
+    return Error::make(kUnknownStream, "unknown stream");
+  return it->second.sender->stats();
+}
+
+bool StreamProviderAgent::finished(std::uint16_t stream) const {
+  auto it = streams_.find(stream);
+  return it == streams_.end() || it->second.sender->finished();
+}
+
+void StreamProviderAgent::step(common::SimTime now) {
+  for (auto& [id, entry] : streams_) entry.sender->step(now);
+}
+
+StreamUserAgent::StreamUserAgent(net::SimNetwork& net,
+                                 const net::Address& listen,
+                                 StreamReceiver::Config cfg)
+    : socket_(net.open(listen)), receiver_(socket_, cfg) {}
+
+}  // namespace mcam::mtp

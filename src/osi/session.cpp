@@ -1,0 +1,221 @@
+#include "osi/session.hpp"
+
+#include "common/bytes.hpp"
+
+namespace mcam::osi {
+
+using common::Bytes;
+using common::ByteReader;
+using common::ByteWriter;
+using estelle::Interaction;
+using estelle::kAnyState;
+
+Bytes build_spdu(Spdu type, const Bytes& user_data) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(static_cast<std::uint16_t>(user_data.size()));
+  w.raw(user_data);
+  return std::move(w).take();
+}
+
+SpduView parse_spdu(const Bytes& raw) {
+  ByteReader r(raw);
+  SpduView v;
+  v.type = static_cast<Spdu>(r.u8());
+  const std::size_t len = r.u16();
+  v.user_data = r.raw(len);
+  return v;
+}
+
+SessionModule::SessionModule(std::string name)
+    : SessionModule(std::move(name), Config{}) {}
+
+SessionModule::SessionModule(std::string name, Config cfg)
+    : Module(std::move(name), estelle::Attribute::Process), cfg_(cfg) {
+  upper();
+  lower();
+  define_transitions();
+}
+
+void SessionModule::send_spdu(Spdu type, const Bytes& user_data) {
+  ++sent_;
+  lower().output(Interaction(kTDatReq, build_spdu(type, user_data)));
+}
+
+void SessionModule::define_transitions() {
+  auto& u = upper();
+  auto& d = lower();
+  const auto cost = cfg_.per_spdu_cost;
+
+  // Helper: decode the SPDU at the head of the transport queue.
+  auto spdu_is = [](Spdu want) {
+    return [want](Module&, const Interaction* msg) {
+      return msg != nullptr && !msg->payload.empty() &&
+             static_cast<Spdu>(msg->payload[0]) == want;
+    };
+  };
+
+  // --- initiator side ---
+  trans("s-con-req")
+      .from(kIdle)
+      .when(u, kSConReq)
+      .to(kWaitTCon)
+      .cost(cost)
+      .action([this](Module&, const Interaction* msg) {
+        pending_connect_ = msg->payload;
+        lower().output(Interaction(kTConReq));
+      });
+  trans("s-tcon-conf")
+      .from(kWaitTCon)
+      .when(d, kTConConf)
+      .to(kWaitAC)
+      .cost(cost)
+      .action([this](Module&, const Interaction*) {
+        send_spdu(Spdu::CN, pending_connect_);
+      });
+  trans("s-ac-recv")
+      .from(kWaitAC)
+      .when(d, kTDatInd)
+      .provided(spdu_is(Spdu::AC))
+      .to(kOpen)
+      .cost(cost)
+      .action([this](Module&, const Interaction* msg) {
+        upper().output(
+            Interaction(kSConConf, parse_spdu(msg->payload).user_data));
+      });
+  trans("s-rf-recv")
+      .from(kWaitAC)
+      .when(d, kTDatInd)
+      .provided(spdu_is(Spdu::RF))
+      .to(kIdle)
+      .cost(cost)
+      .action([this](Module&, const Interaction* msg) {
+        upper().output(
+            Interaction(kSConRefuse, parse_spdu(msg->payload).user_data));
+        lower().output(Interaction(kTDisReq));
+      });
+
+  // --- responder side ---
+  trans("s-cn-recv")
+      .from(kIdle)
+      .when(d, kTDatInd)
+      .provided(spdu_is(Spdu::CN))
+      .to(kConnInd)
+      .cost(cost)
+      .action([this](Module&, const Interaction* msg) {
+        upper().output(
+            Interaction(kSConInd, parse_spdu(msg->payload).user_data));
+      });
+  trans("s-con-resp")
+      .from(kConnInd)
+      .when(u, kSConResp)
+      .cost(cost)
+      .action([this](Module& m, const Interaction* msg) {
+        const bool accept = msg->value.as_bool().value_or(true);
+        send_spdu(accept ? Spdu::AC : Spdu::RF, msg->payload);
+        m.set_state(accept ? kOpen : kIdle);
+      });
+
+  // --- data transfer ---
+  trans("s-dat-req")
+      .from(kOpen)
+      .when(u, kSDatReq)
+      .cost(cost)
+      .action([this](Module&, const Interaction* msg) {
+        send_spdu(Spdu::DT, msg->payload);
+      });
+  trans("s-dt-recv")
+      .from(kOpen)
+      .when(d, kTDatInd)
+      .provided(spdu_is(Spdu::DT))
+      .cost(cost)
+      .action([this](Module&, const Interaction* msg) {
+        upper().output(
+            Interaction(kSDatInd, parse_spdu(msg->payload).user_data));
+      });
+
+  // --- orderly release (FN/DN) ---
+  trans("s-rel-req")
+      .from(kOpen)
+      .when(u, kSRelReq)
+      .to(kRelSent)
+      .cost(cost)
+      .action([this](Module&, const Interaction* msg) {
+        send_spdu(Spdu::FN, msg->payload);
+      });
+  trans("s-fn-recv")
+      .from(kOpen)
+      .when(d, kTDatInd)
+      .provided(spdu_is(Spdu::FN))
+      .to(kRelInd)
+      .cost(cost)
+      .action([this](Module&, const Interaction* msg) {
+        upper().output(
+            Interaction(kSRelInd, parse_spdu(msg->payload).user_data));
+      });
+  trans("s-rel-resp")
+      .from(kRelInd)
+      .when(u, kSRelResp)
+      .to(kIdle)
+      .cost(cost)
+      .action([this](Module&, const Interaction* msg) {
+        send_spdu(Spdu::DN, msg->payload);
+      });
+  trans("s-dn-recv")
+      .from(kRelSent)
+      .when(d, kTDatInd)
+      .provided(spdu_is(Spdu::DN))
+      .to(kIdle)
+      .cost(cost)
+      .action([this](Module&, const Interaction* msg) {
+        upper().output(
+            Interaction(kSRelConf, parse_spdu(msg->payload).user_data));
+        lower().output(Interaction(kTDisReq));
+      });
+
+  // --- abort ---
+  trans("s-abort-req")
+      .from(kAnyState)
+      .when(u, kSAbortReq)
+      .to(kIdle)
+      .priority(1)
+      .cost(cost)
+      .action([this](Module&, const Interaction*) {
+        send_spdu(Spdu::AB, {});
+        lower().output(Interaction(kTDisReq));
+      });
+  trans("s-ab-recv")
+      .from(kAnyState)
+      .when(d, kTDatInd)
+      .provided(spdu_is(Spdu::AB))
+      .to(kIdle)
+      .priority(1)
+      .cost(cost)
+      .action([this](Module&, const Interaction*) {
+        upper().output(Interaction(kSAbortInd));
+      });
+  trans("s-tdis-ind")
+      .from(kAnyState)
+      .when(d, kTDisInd)
+      .to(kIdle)
+      .priority(2)
+      .cost(cost)
+      .action([this](Module& m, const Interaction*) {
+        if (m.state() != kIdle)
+          upper().output(Interaction(kSAbortInd));
+      });
+
+  // --- catch-alls (head-of-queue liveness) ---
+  trans("s-discard-upper")
+      .when(u)
+      .priority(1000)
+      .cost(cost)
+      .action([](Module&, const Interaction*) {});
+  trans("s-discard-lower")
+      .when(d)
+      .priority(1000)
+      .cost(cost)
+      .action([](Module&, const Interaction*) {});
+}
+
+}  // namespace mcam::osi

@@ -1,0 +1,72 @@
+// Session layer: ISO 8327 kernel functional unit as an Estelle module.
+//
+// The paper generates the session layer from an Estelle specification
+// supplied by the University of Bern (§4.1 fn.2). This module implements the
+// kernel subset the experiments exercise: connection establishment
+// (CN/AC/RF), transparent data transfer (DT), orderly release (FN/DN) and
+// user abort (AB), over the transport service of transport.hpp.
+//
+// SPDU format (simplified ISO 8327 encoding):
+//   [ si:1 ][ length:2 ][ user-information... ]
+// where si is the SPDU identifier octet from the standard.
+#pragma once
+
+#include "estelle/module.hpp"
+#include "osi/service.hpp"
+
+namespace mcam::osi {
+
+/// SPDU identifier octets (ISO 8327 §8).
+enum class Spdu : std::uint8_t {
+  CN = 13,  // CONNECT
+  AC = 14,  // ACCEPT
+  RF = 12,  // REFUSE
+  DT = 1,   // DATA TRANSFER
+  FN = 9,   // FINISH
+  DN = 10,  // DISCONNECT
+  AB = 25,  // ABORT
+};
+
+class SessionModule : public estelle::Module {
+ public:
+  enum State {
+    kIdle = 0,
+    kWaitTCon,   // initiator: transport connect pending
+    kWaitAC,     // initiator: CN sent, waiting AC/RF
+    kConnInd,    // responder: CN delivered up, waiting S-CON response
+    kOpen,
+    kRelSent,    // FN sent, waiting DN
+    kRelInd,     // FN delivered up, waiting S-REL response
+  };
+
+  struct Config {
+    common::SimTime per_spdu_cost = common::SimTime::from_us(40);
+  };
+
+  explicit SessionModule(std::string name);
+  SessionModule(std::string name, Config cfg);
+
+  /// Upper interface (SS user = presentation): kinds SsKind.
+  estelle::InteractionPoint& upper() { return ip("U"); }
+  /// Lower interface: connect to TransportModule::upper().
+  estelle::InteractionPoint& lower() { return ip("D"); }
+
+  [[nodiscard]] std::uint64_t spdus_sent() const noexcept { return sent_; }
+
+ private:
+  void define_transitions();
+  void send_spdu(Spdu type, const common::Bytes& user_data);
+
+  Config cfg_;
+  std::uint64_t sent_ = 0;
+  common::Bytes pending_connect_;  // user data held until transport is up
+};
+
+common::Bytes build_spdu(Spdu type, const common::Bytes& user_data);
+struct SpduView {
+  Spdu type;
+  common::Bytes user_data;
+};
+SpduView parse_spdu(const common::Bytes& raw);
+
+}  // namespace mcam::osi

@@ -1,0 +1,26 @@
+#include "osi/stack.hpp"
+
+namespace mcam::osi {
+
+EstelleStack build_estelle_stack(estelle::Module& parent,
+                                 const std::string& prefix) {
+  EstelleStack stack;
+  stack.transport = &parent.create_child<TransportModule>(prefix + ".tp");
+  stack.session = &parent.create_child<SessionModule>(prefix + ".session");
+  stack.presentation =
+      &parent.create_child<PresentationModule>(prefix + ".presentation");
+  estelle::connect(stack.presentation->lower(), stack.session->upper());
+  estelle::connect(stack.session->lower(), stack.transport->upper());
+  return stack;
+}
+
+void join_transports(TransportModule& a, TransportModule& b, double loss,
+                     common::Rng* rng) {
+  estelle::connect(a.net(), b.net());
+  if (loss > 0.0 && rng != nullptr) {
+    a.net().set_loss(loss, rng);
+    b.net().set_loss(loss, rng);
+  }
+}
+
+}  // namespace mcam::osi

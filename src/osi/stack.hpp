@@ -1,0 +1,45 @@
+// Control-stack assembly helpers.
+//
+// The paper's experimental setup (Fig. 2) runs MCAM over two alternative
+// control stacks:
+//   1. Estelle-generated presentation + session over a transport pipe
+//      (build_estelle_stack / join_transports), and
+//   2. the hand-coded ISODE path (osi/isode.hpp), reached through an
+//      IsodeInterfaceModule.
+// Both expose the same presentation-service IP upward, so the MCAM module
+// is byte-compatible with either — exactly the conformance-testing trick
+// the paper uses the two stacks for (§3).
+#pragma once
+
+#include "common/rng.hpp"
+#include "estelle/module.hpp"
+#include "osi/presentation.hpp"
+#include "osi/session.hpp"
+#include "osi/transport.hpp"
+
+namespace mcam::osi {
+
+/// One endpoint's generated control stack (modules owned by `parent`).
+struct EstelleStack {
+  TransportModule* transport = nullptr;
+  SessionModule* session = nullptr;
+  PresentationModule* presentation = nullptr;
+
+  /// The presentation-service access point for the layer above (MCAM).
+  [[nodiscard]] estelle::InteractionPoint& service() const {
+    return presentation->upper();
+  }
+};
+
+/// Create transport+session+presentation as process children of `parent`
+/// and wire the inter-layer channels. The caller connects service() upward
+/// and joins the two transports.
+EstelleStack build_estelle_stack(estelle::Module& parent,
+                                 const std::string& prefix);
+
+/// Connect two transport entities' network IPs with a channel, optionally
+/// lossy in both directions (loss applied independently per direction).
+void join_transports(TransportModule& a, TransportModule& b, double loss = 0.0,
+                     common::Rng* rng = nullptr);
+
+}  // namespace mcam::osi

@@ -1,0 +1,228 @@
+#include "osi/transport.hpp"
+
+#include "common/bytes.hpp"
+
+namespace mcam::osi {
+
+using common::Bytes;
+using common::ByteReader;
+using common::ByteWriter;
+using estelle::kAnyState;
+
+Bytes build_tpdu(Tpdu type, std::uint32_t seq, const Bytes& payload) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(seq);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+TpduView parse_tpdu(const Bytes& raw) {
+  ByteReader r(raw);
+  TpduView v;
+  v.type = static_cast<Tpdu>(r.u8());
+  v.seq = r.u32();
+  v.payload = r.raw(r.remaining());
+  return v;
+}
+
+TransportModule::TransportModule(std::string name)
+    : TransportModule(std::move(name), Config{}) {}
+
+TransportModule::TransportModule(std::string name, Config cfg)
+    : Module(std::move(name), estelle::Attribute::Process), cfg_(cfg) {
+  upper();
+  net();
+  define_transitions();
+}
+
+void TransportModule::send_pdu(Tpdu type, std::uint32_t seq,
+                               const Bytes& payload) {
+  net().output(Interaction(static_cast<int>(type),
+                           build_tpdu(type, seq, payload)));
+}
+
+void TransportModule::pump_window() {
+  while (!pending_.empty() &&
+         next_seq_ - base_ < static_cast<std::uint32_t>(cfg_.window)) {
+    Bytes payload = std::move(pending_.front());
+    pending_.pop_front();
+    send_pdu(Tpdu::DT, next_seq_, payload);
+    ++data_sent_;
+    unacked_.push_back(std::move(payload));
+    ++next_seq_;
+  }
+}
+
+void TransportModule::on_data(const Interaction& msg) {
+  const TpduView v = parse_tpdu(msg.payload);
+  if (v.seq == expected_) {
+    ++expected_;
+    upper().output(Interaction(kTDatInd, v.payload));
+  } else {
+    ++dups_dropped_;  // out-of-order under go-back-N: drop, re-ack
+  }
+  send_pdu(Tpdu::AK, expected_, {});
+}
+
+void TransportModule::on_ack(std::uint32_t next_expected) {
+  while (base_ < next_expected && !unacked_.empty()) {
+    unacked_.pop_front();
+    ++base_;
+  }
+  retransmit_rounds_ = 0;
+  pump_window();
+}
+
+void TransportModule::retransmit_all() {
+  ++retransmit_rounds_;
+  std::uint32_t seq = base_;
+  for (const Bytes& payload : unacked_) {
+    send_pdu(Tpdu::DT, seq, payload);
+    ++retransmissions_;
+    ++seq;
+  }
+}
+
+void TransportModule::define_transitions() {
+  auto& u = upper();
+  auto& n = net();
+  const auto cost = cfg_.per_pdu_cost;
+
+  // --- connection establishment (transport auto-accepts CR) ---
+  trans("t-con-req")
+      .from(kClosed)
+      .when(u, kTConReq)
+      .to(kCrSent)
+      .cost(cost)
+      .action([this](Module&, const Interaction*) {
+        send_pdu(Tpdu::CR, 0, {});
+      });
+  trans("t-cr-recv")
+      .from(kClosed)
+      .when(n, static_cast<int>(Tpdu::CR))
+      .to(kOpen)
+      .cost(cost)
+      .action([this](Module&, const Interaction*) {
+        send_pdu(Tpdu::CC, 0, {});
+      });
+  trans("t-cc-recv")
+      .from(kCrSent)
+      .when(n, static_cast<int>(Tpdu::CC))
+      .to(kOpen)
+      .cost(cost)
+      .action([this](Module&, const Interaction*) {
+        upper().output(Interaction(kTConConf));
+        pump_window();  // release data buffered while connecting
+      });
+
+  trans("t-cr-retransmit")
+      .from(kCrSent)
+      .to(kCrSent)
+      .delay(cfg_.rto)
+      .cost(cost)
+      .action([this](Module&, const Interaction*) {
+        send_pdu(Tpdu::CR, 0, {});
+        ++retransmissions_;
+      });
+
+  // Data requested while the connection is still pending: buffer it; the
+  // window pump sends it once the CC arrives. (The session layer normally
+  // waits for T-CONNECT confirm, but the service tolerates eager users.)
+  trans("t-dat-early")
+      .from(kCrSent)
+      .when(u, kTDatReq)
+      .to(kCrSent)
+      .cost(cost)
+      .action([this](Module&, const Interaction* msg) {
+        pending_.push_back(msg->payload);
+      });
+
+  // --- data transfer ---
+  trans("t-dat-req")
+      .from(kOpen)
+      .when(u, kTDatReq)
+      .to(kOpen)  // re-enter: re-arms the retransmission delay clock
+      .cost(cost)
+      .action([this](Module&, const Interaction* msg) {
+        pending_.push_back(msg->payload);
+        pump_window();
+      });
+  trans("t-dt-recv")
+      .from(kOpen)
+      .when(n, static_cast<int>(Tpdu::DT))
+      .to(kOpen)
+      .cost(cost)
+      .action([this](Module&, const Interaction* msg) { on_data(*msg); });
+  trans("t-ak-recv")
+      .from(kOpen)
+      .when(n, static_cast<int>(Tpdu::AK))
+      .to(kOpen)
+      .cost(cost)
+      .action([this](Module&, const Interaction* msg) {
+        on_ack(parse_tpdu(msg->payload).seq);
+      });
+
+  // --- retransmission timer (go-back-N): fires rto after (re)entering kOpen
+  // while data is outstanding; to(kOpen) re-arms the delay clock. ---
+  trans("t-retransmit")
+      .from(kOpen)
+      .to(kOpen)
+      .delay(cfg_.rto)
+      .cost(cost)
+      .provided([this](Module&, const Interaction*) {
+        return !unacked_.empty() &&
+               retransmit_rounds_ < cfg_.max_retransmits;
+      })
+      .action([this](Module&, const Interaction*) { retransmit_all(); });
+
+  // --- disconnect ---
+  trans("t-dis-req")
+      .from(kOpen)
+      .when(u, kTDisReq)
+      .to(kClosed)
+      .cost(cost)
+      .action([this](Module&, const Interaction*) {
+        send_pdu(Tpdu::DR, 0, {});
+      });
+  trans("t-dr-recv")
+      .from(kAnyState)
+      .when(n, static_cast<int>(Tpdu::DR))
+      .to(kClosed)
+      .cost(cost)
+      .action([this](Module&, const Interaction*) {
+        send_pdu(Tpdu::DC, 0, {});
+        upper().output(Interaction(kTDisInd));
+      });
+  trans("t-dc-recv")
+      .from(kClosed)
+      .when(n, static_cast<int>(Tpdu::DC))
+      .cost(cost)
+      .action([](Module&, const Interaction*) {});
+
+  // Duplicate CR while open (our CC was lost): re-confirm.
+  trans("t-cr-dup")
+      .from(kOpen)
+      .when(n, static_cast<int>(Tpdu::CR))
+      .to(kOpen)
+      .cost(cost)
+      .action([this](Module&, const Interaction*) {
+        send_pdu(Tpdu::CC, 0, {});
+      });
+
+  // Catch-alls: Estelle offers only the head of an IP queue, so a PDU with
+  // no matching transition would block the queue forever. Discard at the
+  // lowest priority instead (e.g. stale AKs after close).
+  trans("t-discard-net")
+      .when(n)
+      .priority(1000)
+      .cost(cost)
+      .action([](Module&, const Interaction*) {});
+  trans("t-discard-upper")
+      .when(u)
+      .priority(1000)
+      .cost(cost)
+      .action([](Module&, const Interaction*) {});
+}
+
+}  // namespace mcam::osi

@@ -1,0 +1,144 @@
+#include "sim/engine.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mcam::sim {
+
+Engine::Engine(int processors, CostModel model) : model_(model) {
+  if (processors < 1) throw std::invalid_argument("need >= 1 processor");
+  procs_.resize(static_cast<std::size_t>(processors));
+}
+
+int Engine::add_task(std::string name, int processor) {
+  if (processor < 0) {
+    processor = rr_next_;
+    rr_next_ = (rr_next_ + 1) % static_cast<int>(procs_.size());
+  }
+  if (processor >= static_cast<int>(procs_.size()))
+    throw std::out_of_range("processor index out of range");
+  tasks_.push_back(Task{std::move(name), processor, {}});
+  return static_cast<int>(tasks_.size()) - 1;
+}
+
+void Engine::post_external(int task, SimTime cost,
+                           std::function<void(Context&)> fn, SimTime ready) {
+  WorkItem item;
+  item.ready = ready;
+  item.cost = cost;
+  item.fn = std::move(fn);
+  item.cross_task = false;
+  item.seq = next_seq_++;
+  tasks_.at(static_cast<std::size_t>(task)).queue.push_back(std::move(item));
+}
+
+void Engine::post_internal(int from_task, int to_task, SimTime ready,
+                           SimTime cost, std::function<void(Context&)> fn) {
+  WorkItem item;
+  item.ready = ready;
+  item.cost = cost;
+  item.fn = std::move(fn);
+  item.cross_task = from_task != to_task;
+  item.seq = next_seq_++;
+  tasks_.at(static_cast<std::size_t>(to_task)).queue.push_back(std::move(item));
+}
+
+void Context::post(int task, SimTime cost, std::function<void(Context&)> fn,
+                   SimTime delay) {
+  engine_.post_internal(task_, task, now_ + delay, cost, std::move(fn));
+}
+
+RunStats Engine::run() {
+  for (;;) {
+    // Pick the runnable work item with the earliest feasible start time.
+    // Feasible start = max(item ready time, processor free time). Determinism:
+    // ties broken by (start, ready, task id, FIFO seq). Items within one task
+    // execute strictly in FIFO order (a task is a sequential thread).
+    int best_task = -1;
+    SimTime best_start{std::numeric_limits<std::int64_t>::max()};
+    SimTime best_ready{};
+    std::uint64_t best_seq = 0;
+    std::size_t best_index = 0;
+    for (int t = 0; t < static_cast<int>(tasks_.size()); ++t) {
+      Task& task = tasks_[static_cast<std::size_t>(t)];
+      if (task.queue.empty()) continue;
+      // Within a task, run the earliest-ready item (seq breaks ties) — a
+      // sequential thread blocked on a timer still serves newly arrived
+      // messages first.
+      std::size_t head_idx = 0;
+      for (std::size_t i = 1; i < task.queue.size(); ++i) {
+        const WorkItem& a = task.queue[i];
+        const WorkItem& b = task.queue[head_idx];
+        if (a.ready < b.ready || (a.ready == b.ready && a.seq < b.seq))
+          head_idx = i;
+      }
+      const WorkItem& head = task.queue[head_idx];
+      const Processor& proc = procs_[static_cast<std::size_t>(task.processor)];
+      const SimTime start =
+          head.ready > proc.free_at ? head.ready : proc.free_at;
+      const bool better =
+          start < best_start ||
+          (start == best_start &&
+           (best_task == -1 || head.ready < best_ready ||
+            (head.ready == best_ready && head.seq < best_seq)));
+      if (better) {
+        best_task = t;
+        best_index = head_idx;
+        best_start = start;
+        best_ready = head.ready;
+        best_seq = head.seq;
+      }
+    }
+    if (best_task < 0) break;  // quiescent
+
+    Task& task = tasks_[static_cast<std::size_t>(best_task)];
+    Processor& proc = procs_[static_cast<std::size_t>(task.processor)];
+    WorkItem item = std::move(task.queue[best_index]);
+    task.queue.erase(task.queue.begin() +
+                     static_cast<std::ptrdiff_t>(best_index));
+
+    SimTime t = best_start;
+
+    // Context switch if this processor last ran a different task.
+    if (proc.last_task != best_task && proc.last_task != -1) {
+      t += model_.ctx_switch;
+      stats_.switch_time += model_.ctx_switch;
+      ++stats_.switches;
+    }
+    proc.last_task = best_task;
+
+    // Inter-task message hand-off (lock + queue) overhead.
+    if (item.cross_task) {
+      t += model_.inter_task_msg;
+      stats_.msg_time += model_.inter_task_msg;
+      ++stats_.cross_task_msgs;
+    }
+
+    // Scheduler bookkeeping: either serialized through the central scheduler
+    // resource or charged locally.
+    if (model_.centralized_scheduler) {
+      const SimTime sched_start =
+          t > scheduler_free_at_ ? t : scheduler_free_at_;
+      scheduler_free_at_ = sched_start + model_.sched_per_item;
+      t = scheduler_free_at_;
+    } else {
+      t += model_.sched_per_item;
+    }
+    stats_.sched_time += model_.sched_per_item;
+
+    // Execute the payload.
+    const SimTime end = t + item.cost;
+    stats_.busy += item.cost;
+    ++stats_.items;
+    proc.free_at = end;
+    if (end > stats_.makespan) stats_.makespan = end;
+
+    if (item.fn) {
+      Context ctx(*this, best_task, end);
+      item.fn(ctx);
+    }
+  }
+  return stats_;
+}
+
+}  // namespace mcam::sim

@@ -1,0 +1,145 @@
+// Estelle-subset front-end tests: parse, semantic checks, instantiate onto a
+// live module, and the rendered "generated code".
+#include <gtest/gtest.h>
+
+#include "estelle/codegen.hpp"
+#include "estelle/sched.hpp"
+
+namespace mcam::estelle::codegen {
+namespace {
+
+constexpr const char* kSessionSpec = R"(
+-- A session-layer-like connection machine.
+module SessionKernel process;
+ip up, down;
+state IDLE, WAIT_AC, OPEN;
+kind CONreq, CONind, AC, DT;
+
+trans t_conreq from IDLE when up.CONreq to WAIT_AC cost 40us;
+trans t_ac     from WAIT_AC when down.AC to OPEN priority 1;
+trans t_data   from OPEN when up.DT cost 25us;
+trans t_watch  from WAIT_AC delay 500us priority 9 to IDLE;
+)";
+
+TEST(CodegenParse, ParsesFullModule) {
+  auto spec = parse(kSessionSpec);
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  const MachineSpec& m = spec.value();
+  EXPECT_EQ(m.module_name, "SessionKernel");
+  EXPECT_EQ(m.attribute, Attribute::Process);
+  EXPECT_EQ(m.ips, (std::vector<std::string>{"up", "down"}));
+  EXPECT_EQ(m.states.size(), 3u);
+  EXPECT_EQ(m.kinds.size(), 4u);
+  ASSERT_EQ(m.transitions.size(), 4u);
+
+  EXPECT_EQ(m.transitions[0].from_state, "IDLE");
+  EXPECT_EQ(m.transitions[0].to_state, "WAIT_AC");
+  EXPECT_EQ(m.transitions[0].ip, "up");
+  EXPECT_EQ(m.transitions[0].kind, "CONreq");
+  EXPECT_EQ(m.transitions[0].cost_us, 40);
+
+  EXPECT_EQ(m.transitions[1].priority, 1);
+  EXPECT_EQ(m.transitions[3].delay_us, 500);
+  EXPECT_TRUE(m.transitions[3].ip.empty());  // spontaneous
+
+  EXPECT_EQ(m.state_id("OPEN"), 2);
+  EXPECT_EQ(m.kind_id("DT"), 3);
+  EXPECT_EQ(m.state_id("MISSING"), -2);
+}
+
+TEST(CodegenParse, SyntaxErrors) {
+  EXPECT_FALSE(parse("modul X process;").ok());
+  EXPECT_FALSE(parse("module X zebra;").ok());
+  EXPECT_FALSE(parse("module X process; state ;").ok());
+  EXPECT_FALSE(parse("module X process; state A; zebra B;").ok());
+  EXPECT_FALSE(parse("module X process;").ok());  // no states
+}
+
+TEST(CodegenParse, SemanticErrors) {
+  // Unknown state in a transition.
+  EXPECT_FALSE(
+      parse("module X process; state A; trans t from NOWHERE;").ok());
+  // Unknown IP.
+  EXPECT_FALSE(parse("module X process; state A; kind K;\n"
+                     "trans t from A when ghost.K;")
+                   .ok());
+  // Unknown kind.
+  EXPECT_FALSE(parse("module X process; ip p; state A;\n"
+                     "trans t from A when p.GHOST;")
+                   .ok());
+  // when + delay conflict.
+  EXPECT_FALSE(parse("module X process; ip p; state A; kind K;\n"
+                     "trans t from A when p.K delay 10us;")
+                   .ok());
+}
+
+TEST(CodegenInstantiate, RunsUnderScheduler) {
+  auto machine = parse(kSessionSpec);
+  ASSERT_TRUE(machine.ok());
+
+  Specification spec("gen");
+  auto& sys = spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+  auto& target = sys.create_child<Module>("session", Attribute::Process);
+
+  std::vector<std::string> trace;
+  ActionMap actions;
+  actions["t_conreq"] = [&](Module&, const Interaction*) {
+    trace.push_back("conreq");
+  };
+  actions["t_ac"] = [&](Module&, const Interaction*) {
+    trace.push_back("ac");
+  };
+  ASSERT_TRUE(instantiate(machine.value(), target, actions).ok());
+  EXPECT_EQ(target.transitions().size(), 4u);
+  ASSERT_NE(target.find_ip("up"), nullptr);
+  ASSERT_NE(target.find_ip("down"), nullptr);
+
+  // Drive it: a user module feeds CONreq and AC.
+  auto& user = sys.create_child<Module>("user", Attribute::Process);
+  connect(user.ip("u"), *target.find_ip("up"));
+  connect(user.ip("d"), *target.find_ip("down"));
+  spec.initialize();
+
+  const int kConReq = machine.value().kind_id("CONreq");
+  const int kAc = machine.value().kind_id("AC");
+  user.ip("u").output(Interaction(kConReq));
+  user.ip("d").output(Interaction(kAc));
+
+  SequentialScheduler(spec).run();
+  EXPECT_EQ(trace, (std::vector<std::string>{"conreq", "ac"}));
+  EXPECT_EQ(target.state(), machine.value().state_id("OPEN"));
+}
+
+TEST(CodegenInstantiate, WatchdogDelayFires) {
+  auto machine = parse(kSessionSpec);
+  ASSERT_TRUE(machine.ok());
+  Specification spec("gen");
+  auto& sys = spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+  auto& target = sys.create_child<Module>("session", Attribute::Process);
+  ASSERT_TRUE(instantiate(machine.value(), target).ok());
+  auto& user = sys.create_child<Module>("user", Attribute::Process);
+  connect(user.ip("u"), *target.find_ip("up"));
+  connect(user.ip("d"), *target.find_ip("down"));
+  spec.initialize();
+
+  // CONreq but never AC: the 500us watchdog must return the machine to IDLE.
+  user.ip("u").output(Interaction(machine.value().kind_id("CONreq")));
+  SequentialScheduler sched(spec);
+  sched.run();
+  EXPECT_EQ(target.state(), machine.value().state_id("IDLE"));
+  EXPECT_GE(sched.now(), common::SimTime::from_us(500));
+}
+
+TEST(CodegenRender, EmitsTransitionTable) {
+  auto machine = parse(kSessionSpec);
+  ASSERT_TRUE(machine.ok());
+  const std::string cpp = render_cpp(machine.value());
+  EXPECT_NE(cpp.find("enum State { IDLE = 0, WAIT_AC = 1, OPEN = 2 };"),
+            std::string::npos);
+  EXPECT_NE(cpp.find("TransitionRow"), std::string::npos);
+  EXPECT_NE(cpp.find("\"t_conreq\""), std::string::npos);
+  EXPECT_NE(cpp.find("/*delay_us*/500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcam::estelle::codegen

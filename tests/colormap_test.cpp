@@ -1,0 +1,179 @@
+// XMovie colormap codec tests: palette fitting, index round-trips,
+// quantization quality bounds, wire framing, and the stream encoder's
+// palette-update behaviour across a scene change.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mtp/colormap.hpp"
+
+namespace mcam::mtp {
+namespace {
+
+RgbImage flat_image(int w, int h, Rgb color) {
+  RgbImage img;
+  img.width = w;
+  img.height = h;
+  img.pixels.assign(static_cast<std::size_t>(w) * h, color);
+  return img;
+}
+
+RgbImage gradient_image(int w, int h) {
+  RgbImage img;
+  img.width = w;
+  img.height = h;
+  img.pixels.reserve(static_cast<std::size_t>(w) * h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      img.pixels.push_back(Rgb{static_cast<std::uint8_t>(x * 255 / (w - 1)),
+                               static_cast<std::uint8_t>(y * 255 / (h - 1)),
+                               static_cast<std::uint8_t>((x + y) & 0xff)});
+  return img;
+}
+
+RgbImage noise_image(int w, int h, std::uint64_t seed) {
+  common::Rng rng(seed);
+  RgbImage img;
+  img.width = w;
+  img.height = h;
+  img.pixels.reserve(static_cast<std::size_t>(w) * h);
+  for (int i = 0; i < w * h; ++i)
+    img.pixels.push_back(Rgb{static_cast<std::uint8_t>(rng()),
+                             static_cast<std::uint8_t>(rng()),
+                             static_cast<std::uint8_t>(rng())});
+  return img;
+}
+
+TEST(Colormap, FlatImageNeedsOneEntry) {
+  const RgbImage img = flat_image(16, 16, Rgb{200, 100, 50});
+  const Colormap map = build_colormap(img);
+  ASSERT_EQ(map.size(), 1u);
+  // Centroid of one uniform bin = the color itself.
+  EXPECT_EQ(map[0], (Rgb{200, 100, 50}));
+
+  const auto indices = encode_frame(img, map);
+  auto decoded = decode_frame(16, 16, indices, map);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().pixels, img.pixels);
+  EXPECT_DOUBLE_EQ(mean_squared_error(img, decoded.value()), 0.0);
+}
+
+TEST(Colormap, PaletteCapIsRespected) {
+  const RgbImage img = noise_image(64, 64, 5);
+  for (std::size_t cap : {1u, 16u, 256u}) {
+    const Colormap map = build_colormap(img, cap);
+    EXPECT_LE(map.size(), cap);
+    EXPECT_GE(map.size(), 1u);
+  }
+}
+
+TEST(Colormap, MoreEntriesNeverWorse) {
+  const RgbImage img = gradient_image(48, 48);
+  double previous = 1e18;
+  for (std::size_t entries : {4u, 16u, 64u, 256u}) {
+    const Colormap map = build_colormap(img, entries);
+    auto decoded =
+        decode_frame(48, 48, encode_frame(img, map), map);
+    ASSERT_TRUE(decoded.ok());
+    const double mse = mean_squared_error(img, decoded.value());
+    EXPECT_LE(mse, previous + 1e-9) << entries;
+    previous = mse;
+  }
+  // 3-3-2 binning bounds the error: bin width ≤ 64 per channel ⇒ MSE well
+  // under 64² even in the worst channel.
+  EXPECT_LT(previous, 700.0);
+}
+
+TEST(Colormap, DecodeValidatesInput) {
+  const Colormap map = {Rgb{0, 0, 0}};
+  EXPECT_FALSE(decode_frame(4, 4, std::vector<std::uint8_t>(15, 0), map).ok());
+  EXPECT_FALSE(
+      decode_frame(2, 2, std::vector<std::uint8_t>{0, 0, 0, 9}, map).ok());
+  EXPECT_FALSE(decode_frame(2, 2, std::vector<std::uint8_t>(4, 0), {}).ok());
+}
+
+TEST(ColormapWire, FrameRoundTripWithAndWithoutPalette) {
+  const RgbImage img = gradient_image(20, 10);
+  const Colormap map = build_colormap(img, 64);
+  const auto indices = encode_frame(img, map);
+
+  // With palette.
+  auto with = unpack_colormap_frame(
+      pack_colormap_frame(20, 10, indices, &map));
+  ASSERT_TRUE(with.ok());
+  EXPECT_TRUE(with.value().has_palette);
+  EXPECT_EQ(with.value().palette, map);
+  EXPECT_EQ(with.value().indices, indices);
+  EXPECT_EQ(with.value().width, 20);
+
+  // Without.
+  auto without =
+      unpack_colormap_frame(pack_colormap_frame(20, 10, indices, nullptr));
+  ASSERT_TRUE(without.ok());
+  EXPECT_FALSE(without.value().has_palette);
+  EXPECT_EQ(without.value().indices, indices);
+}
+
+TEST(ColormapWire, RejectsTruncatedAndMismatched) {
+  const RgbImage img = flat_image(8, 8, Rgb{1, 2, 3});
+  const Colormap map = build_colormap(img);
+  common::Bytes wire =
+      pack_colormap_frame(8, 8, encode_frame(img, map), &map);
+  for (std::size_t cut : {1ul, 4ul, wire.size() / 2}) {
+    common::Bytes partial(wire.begin(),
+                          wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(unpack_colormap_frame(partial).ok()) << cut;
+  }
+  wire.push_back(0);  // extra index byte
+  EXPECT_FALSE(unpack_colormap_frame(wire).ok());
+}
+
+TEST(ColormapStreamTest, PaletteUpdateOnlyOnSceneChange) {
+  ColormapStream encoder;
+  ColormapStreamDecoder decoder;
+
+  // Scene 1: reddish frames with tiny variations.
+  common::Rng rng(3);
+  auto scene = [&](std::uint8_t base_r, std::uint8_t base_b) {
+    RgbImage img = flat_image(32, 32, Rgb{base_r, 40, base_b});
+    for (auto& p : img.pixels)
+      p.g = static_cast<std::uint8_t>(40 + rng.below(8));
+    return img;
+  };
+
+  for (int i = 0; i < 5; ++i) {
+    auto decoded = decoder.decode(encoder.encode(scene(200, 10)));
+    ASSERT_TRUE(decoded.ok()) << i;
+  }
+  EXPECT_EQ(encoder.palette_updates(), 1u);  // first frame only
+
+  // Scene change: blue frames — palette must be re-fitted and re-sent.
+  for (int i = 0; i < 5; ++i) {
+    auto decoded = decoder.decode(encoder.encode(scene(10, 220)));
+    ASSERT_TRUE(decoded.ok());
+  }
+  EXPECT_EQ(encoder.palette_updates(), 2u);
+}
+
+TEST(ColormapStreamTest, DecoderNeedsPaletteFirst) {
+  ColormapStreamDecoder decoder;
+  const RgbImage img = flat_image(4, 4, Rgb{9, 9, 9});
+  const Colormap map = build_colormap(img);
+  // A frame *without* palette arrives first (e.g. joined mid-stream).
+  auto r = decoder.decode(
+      pack_colormap_frame(4, 4, encode_frame(img, map), nullptr));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ColormapStreamTest, ReconstructionQualityWithinQuantizerBound) {
+  ColormapStream encoder;
+  ColormapStreamDecoder decoder;
+  const RgbImage img = gradient_image(64, 48);
+  auto decoded = decoder.decode(encoder.encode(img));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_LT(mean_squared_error(img, decoded.value()), 700.0);
+  EXPECT_EQ(decoded.value().width, 64);
+  EXPECT_EQ(decoded.value().height, 48);
+}
+
+}  // namespace
+}  // namespace mcam::mtp

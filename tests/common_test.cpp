@@ -1,0 +1,166 @@
+// Tests for the shared substrate: byte readers/writers, RNG determinism,
+// Result, simulated time.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/log.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/strf.hpp"
+
+namespace mcam::common {
+namespace {
+
+TEST(Bytes, WriterReaderRoundTrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ULL);
+  w.str("hello");
+  Bytes buf = std::move(w).take();
+  ASSERT_EQ(buf.size(), 1u + 2 + 4 + 8 + 5);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.str(5), "hello");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Bytes, ReaderThrowsOnShortRead) {
+  Bytes buf = {1, 2};
+  ByteReader r(buf);
+  EXPECT_EQ(r.u16(), 0x0102);
+  EXPECT_THROW(r.u8(), ShortReadError);
+  EXPECT_THROW(ByteReader(buf).u32(), ShortReadError);
+  EXPECT_THROW(ByteReader(buf).raw(3), ShortReadError);
+}
+
+TEST(Bytes, BigEndianOrder) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[3], 0x04);
+}
+
+TEST(Bytes, HexdumpTruncates) {
+  Bytes big(100, 0xff);
+  const std::string dump = hexdump(big, 4);
+  EXPECT_NE(dump.find("ff ff ff ff"), std::string::npos);
+  EXPECT_NE(dump.find("100 bytes"), std::string::npos);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, NormalHasRoughMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok_value(5);
+  EXPECT_TRUE(ok_value.ok());
+  EXPECT_EQ(ok_value.value(), 5);
+  EXPECT_EQ(ok_value.value_or(9), 5);
+
+  Result<int> err(Error::make(3, "boom"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code, 3);
+  EXPECT_EQ(err.value_or(9), 9);
+  EXPECT_THROW((void)err.value(), std::logic_error);
+}
+
+TEST(Result, StatusBehaviour) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_THROW((void)ok.error(), std::logic_error);
+  Status bad(Error::make(1, "x"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().message, "x");
+}
+
+TEST(SimTime, ArithmeticAndConversions) {
+  const SimTime a = SimTime::from_ms(3);
+  const SimTime b = SimTime::from_us(500);
+  EXPECT_EQ((a + b).ns, 3'500'000);
+  EXPECT_EQ((a - b).ns, 2'500'000);
+  EXPECT_DOUBLE_EQ(a.millis(), 3.0);
+  EXPECT_DOUBLE_EQ(b.micros(), 500.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(SimClock, NeverGoesBackwards) {
+  SimClock clock;
+  clock.advance_to(SimTime::from_ms(10));
+  clock.advance_to(SimTime::from_ms(5));
+  EXPECT_EQ(clock.now(), SimTime::from_ms(10));
+  clock.advance_by(SimTime::from_ms(1));
+  EXPECT_EQ(clock.now(), SimTime::from_ms(11));
+}
+
+TEST(Strf, FormatsLikePrintf) {
+  EXPECT_EQ(strf("%d-%s-%.1f", 5, "x", 2.5), "5-x-2.5");
+  EXPECT_EQ(strf("empty"), "empty");
+}
+
+TEST(FormatDuration, PicksUnits) {
+  EXPECT_EQ(format_duration(SimTime::from_ns(12)), "12 ns");
+  EXPECT_NE(format_duration(SimTime::from_us(15)).find("us"),
+            std::string::npos);
+  EXPECT_NE(format_duration(SimTime::from_ms(15)).find("ms"),
+            std::string::npos);
+  EXPECT_NE(format_duration(SimTime::from_s(15)).find(" s"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcam::common

@@ -1,0 +1,178 @@
+// Movie directory tests: entry schema, generic attributes, filter algebra
+// (with a property check), DSA operations and chained distributed search.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "directory/directory.hpp"
+
+namespace mcam::directory {
+namespace {
+
+MovieEntry sample(const std::string& title, Format fmt = Format::Mjpeg,
+                  const std::string& rights = "public") {
+  MovieEntry e;
+  e.title = title;
+  e.format = fmt;
+  e.width = 320;
+  e.height = 240;
+  e.fps = 25.0;
+  e.duration_frames = 1500;
+  e.location_host = "ksr1";
+  e.location_path = "/movies/" + title;
+  e.rights = rights;
+  e.size_bytes = 12'000'000;
+  return e;
+}
+
+TEST(MovieEntry, AttributeRoundTrip) {
+  MovieEntry e = sample("casablanca");
+  EXPECT_EQ(*e.attribute("title"), "casablanca");
+  EXPECT_EQ(*e.attribute("format"), "mjpeg");
+  EXPECT_EQ(*e.attribute("width"), "320");
+  EXPECT_EQ(*e.attribute("duration"), "1500");
+  EXPECT_FALSE(e.attribute("nonsense").has_value());
+
+  ASSERT_TRUE(e.set_attribute("format", "mpeg1").ok());
+  EXPECT_EQ(e.format, Format::Mpeg1);
+  ASSERT_TRUE(e.set_attribute("width", "640").ok());
+  EXPECT_EQ(e.width, 640);
+  EXPECT_FALSE(e.set_attribute("format", "divx").ok());
+  EXPECT_FALSE(e.set_attribute("width", "not-a-number").ok());
+  EXPECT_FALSE(e.set_attribute("nonsense", "x").ok());
+}
+
+TEST(MovieEntry, AttributesListsAllTen) {
+  const auto attrs = sample("x").attributes();
+  EXPECT_EQ(attrs.size(), 10u);
+  EXPECT_EQ(attrs.front().first, "title");
+}
+
+TEST(Formats, NamesRoundTrip) {
+  for (Format f : {Format::RawRgb, Format::Colormap, Format::Mjpeg,
+                   Format::Mpeg1}) {
+    EXPECT_EQ(format_from(format_name(f)), f);
+  }
+  EXPECT_FALSE(format_from("vhs").has_value());
+}
+
+TEST(Filter, BasicOperators) {
+  const MovieEntry e = sample("the third man", Format::Mjpeg, "alice");
+  EXPECT_TRUE(Filter::all().matches(e));
+  EXPECT_TRUE(Filter::present("title").matches(e));
+  EXPECT_FALSE(Filter::present("bogus").matches(e));
+  EXPECT_TRUE(Filter::equal("format", "mjpeg").matches(e));
+  EXPECT_FALSE(Filter::equal("format", "mpeg1").matches(e));
+  EXPECT_TRUE(Filter::substring("title", "third").matches(e));
+  EXPECT_FALSE(Filter::substring("title", "fourth").matches(e));
+  EXPECT_TRUE(Filter::and_({Filter::equal("rights", "alice"),
+                            Filter::substring("title", "man")})
+                  .matches(e));
+  EXPECT_TRUE(Filter::or_({Filter::equal("format", "mpeg1"),
+                           Filter::equal("format", "mjpeg")})
+                  .matches(e));
+  EXPECT_FALSE(Filter::not_(Filter::all()).matches(e));
+}
+
+TEST(Filter, DeMorganProperty) {
+  // !(A && B) == !A || !B over random entries.
+  common::Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    MovieEntry e = sample("m" + std::to_string(rng.below(10)),
+                          static_cast<Format>(rng.below(4)),
+                          rng.chance(0.5) ? "public" : "bob");
+    e.width = static_cast<int>(160 + rng.below(4) * 160);
+    const Filter a = Filter::equal("rights", "public");
+    const Filter b = Filter::substring("title", "m1");
+    const bool lhs = Filter::not_(Filter::and_({a, b})).matches(e);
+    const bool rhs =
+        Filter::or_({Filter::not_(a), Filter::not_(b)}).matches(e);
+    ASSERT_EQ(lhs, rhs);
+  }
+}
+
+TEST(Filter, ToStringIsLdapLike) {
+  const Filter f = Filter::and_(
+      {Filter::equal("format", "mjpeg"), Filter::not_(Filter::present("x"))});
+  EXPECT_EQ(f.to_string(), "(&(format=mjpeg)(!(x=*)))");
+}
+
+TEST(Dsa, AddReadModifyRemove) {
+  Dsa dsa("ksr1");
+  auto id = dsa.add(sample("casablanca"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(dsa.size(), 1u);
+
+  auto read = dsa.read(id.value());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().title, "casablanca");
+  EXPECT_EQ(read.value().id, id.value());
+
+  ASSERT_TRUE(dsa.modify(id.value(), "fps", "30").ok());
+  EXPECT_DOUBLE_EQ(dsa.read(id.value()).value().fps, 30.0);
+  EXPECT_FALSE(dsa.modify(id.value(), "bogus", "1").ok());
+  EXPECT_FALSE(dsa.modify(9999, "fps", "30").ok());
+
+  ASSERT_TRUE(dsa.remove(id.value()).ok());
+  EXPECT_FALSE(dsa.read(id.value()).ok());
+  EXPECT_FALSE(dsa.remove(id.value()).ok());
+}
+
+TEST(Dsa, DuplicateTitlesRejected) {
+  Dsa dsa("ksr1");
+  ASSERT_TRUE(dsa.add(sample("unique")).ok());
+  auto dup = dsa.add(sample("unique"));
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, kDuplicateTitle);
+}
+
+TEST(Dsa, SearchWithFilters) {
+  Dsa dsa("ksr1");
+  (void)dsa.add(sample("news-1994-06", Format::Mjpeg));
+  (void)dsa.add(sample("news-1994-07", Format::Mjpeg));
+  (void)dsa.add(sample("lecture-db", Format::Mpeg1, "alice"));
+
+  EXPECT_EQ(dsa.search(Filter::all()).size(), 3u);
+  EXPECT_EQ(dsa.search(Filter::substring("title", "news")).size(), 2u);
+  EXPECT_EQ(dsa.search(Filter::equal("format", "mpeg1")).size(), 1u);
+  EXPECT_EQ(dsa.search(Filter::and_({Filter::substring("title", "news"),
+                                     Filter::equal("format", "mpeg1")}))
+                .size(),
+            0u);
+}
+
+TEST(Dsa, ChainedSearchAcrossPeers) {
+  Dsa a("hostA"), b("hostB"), c("hostC");
+  a.add_peer(b);
+  b.add_peer(c);
+  b.add_peer(a);  // cycle must not loop forever
+  c.add_peer(a);
+  (void)a.add(sample("only-on-a"));
+  (void)b.add(sample("only-on-b"));
+  (void)c.add(sample("only-on-c"));
+
+  auto everywhere = a.search_chained(Filter::substring("title", "only-on"));
+  EXPECT_EQ(everywhere.size(), 3u);
+
+  // Hop limit 0: local only.
+  EXPECT_EQ(a.search_chained(Filter::all(), 0).size(), 1u);
+  // Hop limit 1: a + direct peer b.
+  EXPECT_EQ(a.search_chained(Filter::all(), 1).size(), 2u);
+}
+
+TEST(Dua, LookupFallsBackToChaining) {
+  Dsa home("client-domain"), remote("server-domain");
+  home.add_peer(remote);
+  (void)remote.add(sample("remote-movie"));
+  Dua dua(home);
+
+  auto found = dua.lookup("remote-movie");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().title, "remote-movie");
+  EXPECT_FALSE(dua.lookup("nowhere").ok());
+
+  EXPECT_EQ(dua.search(Filter::all()).size(), 1u);
+  EXPECT_EQ(dua.search(Filter::all(), /*chained=*/false).size(), 0u);
+}
+
+}  // namespace
+}  // namespace mcam::directory

@@ -1,0 +1,122 @@
+// Equipment Control System tests: registry, command execution, reservation
+// discipline, parameter validation.
+#include <gtest/gtest.h>
+
+#include "equipment/equipment.hpp"
+
+namespace mcam::equipment {
+namespace {
+
+class EcsFixture : public ::testing::Test {
+ protected:
+  EcsFixture() : eca("ksr1") {
+    cam = eca.register_device(Kind::Camera, "studio-cam",
+                              {{"brightness", 50}, {"zoom", 0}});
+    mic = eca.register_device(Kind::Microphone, "desk-mic", {{"gain", 30}});
+    spk = eca.register_device(Kind::Speaker, "wall-speaker", {{"volume", 40}});
+  }
+  EquipmentControlAgent eca;
+  std::uint32_t cam, mic, spk;
+};
+
+TEST_F(EcsFixture, RegistryAndListing) {
+  EXPECT_EQ(eca.device_count(), 3u);
+  EXPECT_EQ(eca.list().size(), 3u);
+  EXPECT_EQ(eca.list(Kind::Camera).size(), 1u);
+  EXPECT_EQ(eca.list(Kind::Display).size(), 0u);
+  auto status = eca.status(cam);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value().name, "studio-cam");
+  EXPECT_FALSE(status.value().powered);
+  EXPECT_FALSE(eca.status(999).ok());
+}
+
+TEST_F(EcsFixture, PowerCycle) {
+  auto on = eca.execute(cam, Command::PowerOn, "alice");
+  ASSERT_TRUE(on.ok());
+  EXPECT_TRUE(on.value().powered);
+  auto off = eca.execute(cam, Command::PowerOff, "alice");
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off.value().powered);
+}
+
+TEST_F(EcsFixture, SetParamRequiresPowerAndRange) {
+  // Powered off ⇒ rejected.
+  auto r = eca.execute(spk, Command::SetParam, "alice", "volume", 80);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, kPoweredOff);
+
+  ASSERT_TRUE(eca.execute(spk, Command::PowerOn, "alice").ok());
+  r = eca.execute(spk, Command::SetParam, "alice", "volume", 80);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().param_value, 80);
+  EXPECT_EQ(eca.status(spk).value().params.at("volume"), 80);
+
+  EXPECT_EQ(eca.execute(spk, Command::SetParam, "alice", "volume", 101)
+                .error()
+                .code,
+            kBadParameter);
+  EXPECT_EQ(eca.execute(spk, Command::SetParam, "alice", "volume", -1)
+                .error()
+                .code,
+            kBadParameter);
+  EXPECT_EQ(
+      eca.execute(spk, Command::SetParam, "alice", "bogus", 10).error().code,
+      kBadParameter);
+}
+
+TEST_F(EcsFixture, ReservationDiscipline) {
+  ASSERT_TRUE(eca.execute(mic, Command::Reserve, "alice").ok());
+  EXPECT_EQ(eca.status(mic).value().reserved_by, "alice");
+
+  // Another user cannot touch or steal it.
+  EXPECT_EQ(eca.execute(mic, Command::PowerOn, "bob").error().code,
+            kDeviceBusy);
+  EXPECT_EQ(eca.execute(mic, Command::Reserve, "bob").error().code,
+            kDeviceBusy);
+  EXPECT_EQ(eca.execute(mic, Command::Release, "bob").error().code,
+            kNotReserved);
+
+  // The holder can use and re-reserve (idempotent).
+  EXPECT_TRUE(eca.execute(mic, Command::PowerOn, "alice").ok());
+  EXPECT_TRUE(eca.execute(mic, Command::Reserve, "alice").ok());
+  ASSERT_TRUE(eca.execute(mic, Command::Release, "alice").ok());
+  EXPECT_TRUE(eca.status(mic).value().reserved_by.empty());
+  // Now bob may reserve.
+  EXPECT_TRUE(eca.execute(mic, Command::Reserve, "bob").ok());
+}
+
+TEST_F(EcsFixture, GetStatusReadsParam) {
+  ASSERT_TRUE(eca.execute(cam, Command::PowerOn, "alice").ok());
+  ASSERT_TRUE(
+      eca.execute(cam, Command::SetParam, "alice", "brightness", 77).ok());
+  auto r = eca.execute(cam, Command::GetStatus, "bob", "brightness");
+  ASSERT_TRUE(r.ok());  // status is readable even for non-holders
+  EXPECT_EQ(r.value().param_value, 77);
+  EXPECT_TRUE(r.value().powered);
+  EXPECT_FALSE(
+      eca.execute(cam, Command::GetStatus, "bob", "bogus").ok());
+}
+
+TEST_F(EcsFixture, UserAgentFacade) {
+  EquipmentUserAgent alice(eca, "alice");
+  EquipmentUserAgent bob(eca, "bob");
+
+  ASSERT_TRUE(alice.reserve(cam).ok());
+  ASSERT_TRUE(alice.power_on(cam).ok());
+  ASSERT_TRUE(alice.set_param(cam, "zoom", 30).ok());
+  EXPECT_FALSE(bob.power_on(cam).ok());
+  EXPECT_EQ(alice.status(cam).value().params.at("zoom"), 30);
+  ASSERT_TRUE(alice.release(cam).ok());
+  EXPECT_TRUE(bob.power_off(cam).ok());
+}
+
+TEST(Ecs, KindNames) {
+  EXPECT_STREQ(kind_name(Kind::Camera), "camera");
+  EXPECT_STREQ(kind_name(Kind::Microphone), "microphone");
+  EXPECT_STREQ(kind_name(Kind::Speaker), "speaker");
+  EXPECT_STREQ(kind_name(Kind::Display), "display");
+}
+
+}  // namespace
+}  // namespace mcam::equipment

@@ -1,0 +1,140 @@
+// Simulated datagram network tests: delivery, impairments, determinism.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace mcam::net {
+namespace {
+
+using common::SimTime;
+
+Impairments clean_link() {
+  Impairments imp;
+  imp.latency = SimTime::from_us(100);
+  imp.jitter = {};
+  imp.loss = 0.0;
+  imp.bandwidth_bps = 0.0;  // infinite
+  return imp;
+}
+
+TEST(SimNetwork, DeliversInOrderOnCleanLink) {
+  SimNetwork net(1, clean_link());
+  Socket& a = net.open({"a", 1});
+  Socket& b = net.open({"b", 1});
+  for (int i = 0; i < 5; ++i) a.send(b.address(), {static_cast<uint8_t>(i)});
+  net.run_all();
+  for (int i = 0; i < 5; ++i) {
+    auto d = b.receive();
+    ASSERT_TRUE(d.has_value()) << i;
+    EXPECT_EQ(d->payload[0], i);
+    EXPECT_EQ(d->delivered_at - d->sent_at, SimTime::from_us(100));
+  }
+  EXPECT_FALSE(b.receive().has_value());
+}
+
+TEST(SimNetwork, DuplicateBindRejected) {
+  SimNetwork net;
+  net.open({"a", 1});
+  EXPECT_THROW(net.open({"a", 1}), std::logic_error);
+  EXPECT_NO_THROW(net.open({"a", 2}));
+}
+
+TEST(SimNetwork, UnboundDestinationCountsAsDrop) {
+  SimNetwork net(1, clean_link());
+  Socket& a = net.open({"a", 1});
+  a.send({"ghost", 9}, {1, 2, 3});
+  net.run_all();
+  EXPECT_EQ(net.stats().dropped, 1u);
+  EXPECT_EQ(net.stats().delivered, 0u);
+}
+
+TEST(SimNetwork, LossRateApproximatelyHonored) {
+  Impairments lossy = clean_link();
+  lossy.loss = 0.3;
+  SimNetwork net(7, lossy);
+  Socket& a = net.open({"a", 1});
+  Socket& b = net.open({"b", 1});
+  for (int i = 0; i < 2000; ++i) a.send(b.address(), {0});
+  net.run_all();
+  const double ratio = net.stats().delivery_ratio();
+  EXPECT_GT(ratio, 0.65);
+  EXPECT_LT(ratio, 0.75);
+}
+
+TEST(SimNetwork, JitterSpreadsArrivals) {
+  Impairments jittery = clean_link();
+  jittery.jitter = SimTime::from_ms(2);
+  SimNetwork net(3, jittery);
+  Socket& a = net.open({"a", 1});
+  Socket& b = net.open({"b", 1});
+  for (int i = 0; i < 100; ++i) a.send(b.address(), {0});
+  net.run_all();
+  SimTime min_d{std::numeric_limits<std::int64_t>::max()}, max_d{};
+  while (auto d = b.receive()) {
+    const SimTime transit = d->delivered_at - d->sent_at;
+    min_d = std::min(min_d, transit);
+    max_d = std::max(max_d, transit);
+  }
+  EXPECT_GE(min_d, SimTime::from_us(100));
+  EXPECT_GT((max_d - min_d).ns, SimTime::from_ms(1).ns);
+}
+
+TEST(SimNetwork, BandwidthSerializesBackToBackSends) {
+  Impairments slow = clean_link();
+  slow.bandwidth_bps = 8e6;  // 1 byte/us
+  SimNetwork net(1, slow);
+  Socket& a = net.open({"a", 1});
+  Socket& b = net.open({"b", 1});
+  // Two 1000-byte datagrams sent at t=0: second must queue behind the first.
+  a.send(b.address(), common::Bytes(1000, 0));
+  a.send(b.address(), common::Bytes(1000, 0));
+  net.run_all();
+  auto first = b.receive();
+  auto second = b.receive();
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ((first->delivered_at - first->sent_at).ns,
+            SimTime::from_us(1100).ns);  // 1ms tx + 100us prop
+  EXPECT_EQ((second->delivered_at - second->sent_at).ns,
+            SimTime::from_us(2100).ns);  // waits for the first
+}
+
+TEST(SimNetwork, PerLinkOverrides) {
+  SimNetwork net(1, clean_link());
+  Impairments slow = clean_link();
+  slow.latency = SimTime::from_ms(50);
+  net.set_link("a", "c", slow);
+  Socket& a = net.open({"a", 1});
+  Socket& b = net.open({"b", 1});
+  Socket& c = net.open({"c", 1});
+  a.send(b.address(), {1});
+  a.send(c.address(), {2});
+  net.run_all();
+  EXPECT_EQ((b.receive()->delivered_at).ns, SimTime::from_us(100).ns);
+  EXPECT_EQ((c.receive()->delivered_at).ns, SimTime::from_ms(50).ns);
+}
+
+TEST(SimNetwork, DeterministicGivenSeed) {
+  const auto run_once = [] {
+    Impairments imp = clean_link();
+    imp.loss = 0.2;
+    imp.jitter = SimTime::from_ms(1);
+    SimNetwork net(42, imp);
+    Socket& a = net.open({"a", 1});
+    Socket& b = net.open({"b", 1});
+    for (int i = 0; i < 500; ++i) a.send(b.address(), {0});
+    net.run_all();
+    return net.stats().delivered;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimNetwork, RunUntilAdvancesClockWithoutTraffic) {
+  SimNetwork net;
+  EXPECT_EQ(net.now().ns, 0);
+  net.run_until(SimTime::from_ms(5));
+  EXPECT_EQ(net.now(), SimTime::from_ms(5));
+  EXPECT_FALSE(net.next_event().has_value());
+}
+
+}  // namespace
+}  // namespace mcam::net

@@ -1,0 +1,347 @@
+// Scheduler stress and edge-case tests: determinism of the parallel
+// executors, uniprocessor-host mapping, dynamic module destruction, output
+// capture, and misc runtime invariants not covered by estelle_test.
+#include <gtest/gtest.h>
+
+#include "asn1/value.hpp"
+#include "estelle/module.hpp"
+#include "estelle/sched.hpp"
+#include "estelle/trace.hpp"
+
+namespace mcam::estelle {
+namespace {
+
+using common::SimTime;
+
+/// A chain cell: receives a token, increments its hop count, forwards it.
+class Cell : public Module {
+ public:
+  explicit Cell(std::string name)
+      : Module(std::move(name), Attribute::Process) {
+    auto& in = ip("in");
+    ip("out");
+    trans("hop").when(in, 1).action([this](Module&, const Interaction* msg) {
+      ++hops;
+      if (ip("out").connected()) {
+        Interaction fwd(1, asn1::Value::integer(
+                               msg->value.as_int().value_or(0) + 1));
+        ip("out").output(std::move(fwd));
+      } else {
+        final_value = msg->value.as_int().value_or(0);
+      }
+    });
+  }
+  int hops = 0;
+  std::int64_t final_value = -1;
+};
+
+/// Builds a ring-free chain of `n` cells inside one system module and
+/// injects `tokens` tokens; returns the final cell's last value and the
+/// total hops under the given runner.
+template <typename MakeSched>
+std::pair<std::int64_t, int> run_chain(int n, int tokens,
+                                       MakeSched&& make_sched) {
+  Specification spec("chain");
+  auto& sys =
+      spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+  std::vector<Cell*> cells;
+  for (int i = 0; i < n; ++i)
+    cells.push_back(&sys.create_child<Cell>("cell" + std::to_string(i)));
+  auto& driver = sys.create_child<Module>("driver", Attribute::Process);
+  connect(driver.ip("out"), cells.front()->ip("in"));
+  for (int i = 0; i + 1 < n; ++i)
+    connect(cells[static_cast<std::size_t>(i)]->ip("out"),
+            cells[static_cast<std::size_t>(i) + 1]->ip("in"));
+  spec.initialize();
+  for (int t = 0; t < tokens; ++t)
+    driver.ip("out").output(Interaction(1, asn1::Value::integer(0)));
+
+  make_sched(spec);
+
+  int total_hops = 0;
+  for (Cell* c : cells) total_hops += c->hops;
+  return {cells.back()->final_value, total_hops};
+}
+
+TEST(SchedStress, LongChainAllSchedulersAgree) {
+  const int kCells = 32;
+  const int kTokens = 20;
+  const auto seq = run_chain(kCells, kTokens, [](Specification& s) {
+    SequentialScheduler(s).run();
+  });
+  const auto par = run_chain(kCells, kTokens, [](Specification& s) {
+    ParallelSimScheduler::Config cfg;
+    cfg.processors = 8;
+    ParallelSimScheduler(s, cfg).run();
+  });
+  const auto thr = run_chain(kCells, kTokens, [](Specification& s) {
+    ThreadedScheduler::Config cfg;
+    cfg.threads = 8;
+    ThreadedScheduler(s, cfg).run();
+  });
+  EXPECT_EQ(seq.first, kCells - 1);  // token incremented at every hop
+  EXPECT_EQ(seq.second, kCells * kTokens);
+  EXPECT_EQ(seq, par);
+  EXPECT_EQ(seq, thr);
+}
+
+TEST(SchedStress, ParallelSimDeterministicAcrossRuns) {
+  const auto once = [] {
+    Specification spec("d");
+    auto& sys =
+        spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+    std::vector<Cell*> cells;
+    for (int i = 0; i < 10; ++i)
+      cells.push_back(&sys.create_child<Cell>("c" + std::to_string(i)));
+    auto& driver = sys.create_child<Module>("drv", Attribute::Process);
+    connect(driver.ip("out"), cells[0]->ip("in"));
+    for (int i = 0; i + 1 < 10; ++i)
+      connect(cells[static_cast<std::size_t>(i)]->ip("out"),
+              cells[static_cast<std::size_t>(i) + 1]->ip("in"));
+    spec.initialize();
+    for (int t = 0; t < 7; ++t)
+      driver.ip("out").output(Interaction(1, asn1::Value::integer(0)));
+    ParallelSimScheduler::Config cfg;
+    cfg.processors = 3;
+    cfg.mapping = Mapping::GroupedUnits;
+    ParallelSimScheduler sched(spec, cfg);
+    return sched.run().time.ns;
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(SchedStress, UniprocessorHostCollapsesUnits) {
+  Specification spec("uni");
+  auto& sys =
+      spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+  sys.set_uniprocessor_host(true);
+  std::vector<Cell*> cells;
+  for (int i = 0; i < 6; ++i)
+    cells.push_back(&sys.create_child<Cell>("c" + std::to_string(i)));
+  auto& driver = sys.create_child<Module>("drv", Attribute::Process);
+  connect(driver.ip("out"), cells[0]->ip("in"));
+  for (int i = 0; i + 1 < 6; ++i)
+    connect(cells[static_cast<std::size_t>(i)]->ip("out"),
+            cells[static_cast<std::size_t>(i) + 1]->ip("in"));
+  spec.initialize();
+  driver.ip("out").output(Interaction(1, asn1::Value::integer(0)));
+
+  ParallelSimScheduler::Config cfg;
+  cfg.processors = 8;
+  cfg.mapping = Mapping::ThreadPerModule;
+  ParallelSimScheduler sched(spec, cfg);
+  sched.run();
+  // Despite thread-per-module mapping, everything collapsed to one unit.
+  EXPECT_EQ(sched.unit_count(), 1);
+}
+
+TEST(SchedStress, UniprocessorHostIsSlowerThanMultiprocessor) {
+  const auto run_with = [](bool uniprocessor) {
+    Specification spec("cmp");
+    auto& sys =
+        spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+    sys.set_uniprocessor_host(uniprocessor);
+    // Independent workers: embarrassingly parallel.
+    for (int i = 0; i < 4; ++i) {
+      auto& w = sys.create_child<Module>("w" + std::to_string(i),
+                                         Attribute::Process);
+      w.trans("work")
+          .cost(SimTime::from_us(100))
+          .provided([&w](Module&, const Interaction*) {
+            return w.state() < 20;
+          })
+          .action([](Module& m, const Interaction*) {
+            m.set_state(m.state() + 1);
+          });
+    }
+    spec.initialize();
+    ParallelSimScheduler::Config cfg;
+    cfg.processors = 4;
+    ParallelSimScheduler sched(spec, cfg);
+    return sched.run().time;
+  };
+  EXPECT_GT(run_with(true).ns, run_with(false).ns);
+}
+
+TEST(SchedStress, DynamicReleaseDuringRun) {
+  // A supervisor spawns a worker, lets it run, then destroys it mid-run;
+  // the world stays consistent and quiescence is reached.
+  class Supervisor : public Module {
+   public:
+    explicit Supervisor(std::string name)
+        : Module(std::move(name), Attribute::SystemProcess) {
+      trans("spawn")
+          .from(0)
+          .to(1)
+          .action([](Module& m, const Interaction*) {
+            auto& worker =
+                m.create_child<Module>("worker", Attribute::Process);
+            worker.trans("spin").action([](Module&, const Interaction*) {});
+          });
+      trans("reap")
+          .from(1)
+          .to(2)
+          .delay(SimTime::from_ms(1))
+          .action([](Module& m, const Interaction*) {
+            m.release_child(*m.children().front());
+          });
+    }
+  };
+  Specification spec("dyn");
+  auto& sup = spec.root().create_child<Supervisor>("sup");
+  spec.initialize();
+  SequentialScheduler::Config cfg;
+  cfg.max_steps = 2000;
+  SequentialScheduler sched(spec, cfg);
+  sched.run();
+  EXPECT_EQ(sup.children().size(), 0u);
+  EXPECT_EQ(sup.state(), 2);
+}
+
+TEST(OutputCaptureTest, CapturesAndCommitsInOrder) {
+  Specification spec("cap");
+  auto& sys =
+      spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+  auto& a = sys.create_child<Module>("a", Attribute::Process);
+  auto& b = sys.create_child<Module>("b", Attribute::Process);
+  connect(a.ip("x"), b.ip("x"));
+
+  OutputCapture capture;
+  capture.begin();
+  a.ip("x").output(Interaction(1));
+  a.ip("x").output(Interaction(2));
+  capture.end();
+  EXPECT_EQ(capture.size(), 2u);
+  EXPECT_FALSE(b.ip("x").has_input());  // nothing delivered yet
+
+  a.ip("x").output(Interaction(3));  // outside capture: immediate
+  EXPECT_EQ(b.ip("x").queue_length(), 1u);
+
+  capture.commit();
+  ASSERT_EQ(b.ip("x").queue_length(), 3u);
+  EXPECT_EQ(b.ip("x").pop().kind, 3);  // immediate one arrived first
+  EXPECT_EQ(b.ip("x").pop().kind, 1);
+  EXPECT_EQ(b.ip("x").pop().kind, 2);
+}
+
+TEST(OutputCaptureTest, NestedCaptureRejected) {
+  OutputCapture outer;
+  outer.begin();
+  OutputCapture inner;
+  EXPECT_THROW(inner.begin(), std::logic_error);
+  outer.end();
+}
+
+TEST(SpecificationTest, DoubleInitializeThrows) {
+  Specification spec("x");
+  spec.initialize();
+  EXPECT_THROW(spec.initialize(), EstelleRuleError);
+}
+
+TEST(SpecificationTest, PathsAndSubtreeSizes) {
+  Specification spec("world");
+  auto& sys =
+      spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+  auto& child = sys.create_child<Module>("conn", Attribute::Process);
+  auto& grand = child.create_child<Module>("leaf", Attribute::Process);
+  EXPECT_EQ(grand.path(), "spec:world.sys.conn.leaf");
+  EXPECT_EQ(spec.root().subtree_size(), 4u);
+  EXPECT_EQ(sys.subtree_size(), 3u);
+  EXPECT_EQ(grand.owning_system_module(), &sys);
+  EXPECT_EQ(spec.root().owning_system_module(), nullptr);
+}
+
+TEST(SchedStress, RunUntilStopsPromptly) {
+  Specification spec("stop");
+  auto& sys = spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+  auto& w = sys.create_child<Module>("w", Attribute::Process);
+  int count = 0;
+  w.trans("tick").action(
+      [&count](Module&, const Interaction*) { ++count; });
+  spec.initialize();
+  SequentialScheduler sched(spec);
+  sched.run_until([&] { return count >= 5; });
+  EXPECT_GE(count, 5);
+  EXPECT_LE(count, 6);  // at most one extra round
+}
+
+TEST(SchedStress, MaxStepsBoundsRunawaySpecs) {
+  Specification spec("runaway");
+  auto& sys = spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+  auto& w = sys.create_child<Module>("w", Attribute::Process);
+  w.trans("forever").action([](Module&, const Interaction*) {});
+  spec.initialize();
+  SequentialScheduler::Config cfg;
+  cfg.max_steps = 100;
+  SequentialScheduler sched(spec, cfg);
+  const SchedulerStats stats = sched.run();
+  EXPECT_LE(stats.rounds, 101u);
+}
+
+}  // namespace
+}  // namespace mcam::estelle
+
+// Appended: execution tracing (estelle/trace.hpp).
+namespace mcam::estelle {
+namespace {
+
+TEST(Tracing, RecordsFiredTransitionsInOrder) {
+  ScopedTrace trace;
+  Specification spec("traced");
+  auto& sys =
+      spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+  auto& a = sys.create_child<Module>("a", Attribute::Process);
+  auto& b = sys.create_child<Module>("b", Attribute::Process);
+  connect(a.ip("out"), b.ip("in"));
+  a.trans("ping").from(0).to(1).action([&a](Module&, const Interaction*) {
+    a.ip("out").output(Interaction(1));
+  });
+  b.trans("pong").when(b.ip("in"), 1).action(
+      [](Module&, const Interaction*) {});
+  spec.initialize();
+  SequentialScheduler(spec).run();
+
+  const auto names = trace.recorder().transition_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "ping");
+  EXPECT_EQ(names[1], "pong");
+  EXPECT_EQ(trace.recorder().events()[0].module_path, "spec:traced.sys.a");
+  EXPECT_EQ(trace.recorder().events()[0].to_state, 1);
+  EXPECT_NE(trace.recorder().to_string().find("ping"), std::string::npos);
+}
+
+TEST(Tracing, DeterministicGoldenTrace) {
+  const auto run_traced = [] {
+    ScopedTrace trace;
+    Specification spec("g");
+    auto& sys =
+        spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+    auto& w = sys.create_child<Module>("w", Attribute::Process);
+    for (int i = 0; i < 3; ++i)
+      w.trans("t" + std::to_string(i))
+          .from(i)
+          .to(i + 1)
+          .action([](Module&, const Interaction*) {});
+    spec.initialize();
+    SequentialScheduler(spec).run();
+    return trace.recorder().to_string();
+  };
+  const std::string golden = run_traced();
+  EXPECT_EQ(run_traced(), golden);
+  EXPECT_NE(golden.find("t0"), std::string::npos);
+  EXPECT_NE(golden.find("t2"), std::string::npos);
+}
+
+TEST(Tracing, NoRecorderMeansNoOverheadPath) {
+  ASSERT_EQ(TraceRecorder::current(), nullptr);
+  Specification spec("quiet");
+  auto& sys =
+      spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+  auto& w = sys.create_child<Module>("w", Attribute::Process);
+  w.trans("t").from(0).to(1).action([](Module&, const Interaction*) {});
+  spec.initialize();
+  EXPECT_NO_THROW(SequentialScheduler(spec).run());
+}
+
+}  // namespace
+}  // namespace mcam::estelle

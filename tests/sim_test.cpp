@@ -1,0 +1,169 @@
+// Simulated-multiprocessor engine tests: correctness of the cost model that
+// every speedup experiment rests on.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace mcam::sim {
+namespace {
+
+using common::SimTime;
+
+CostModel zero_costs() {
+  CostModel m;
+  m.ctx_switch = {};
+  m.inter_task_msg = {};
+  m.sched_per_item = {};
+  return m;
+}
+
+TEST(Engine, SequentialWorkAddsUp) {
+  Engine engine(1, zero_costs());
+  const int t = engine.add_task("t");
+  for (int i = 0; i < 10; ++i)
+    engine.post_external(t, SimTime::from_us(100), nullptr);
+  const RunStats s = engine.run();
+  EXPECT_EQ(s.items, 10u);
+  EXPECT_EQ(s.makespan, SimTime::from_ms(1));
+  EXPECT_EQ(s.busy, SimTime::from_ms(1));
+}
+
+TEST(Engine, PerfectSpeedupWithIndependentTasks) {
+  for (int procs : {1, 2, 4}) {
+    Engine engine(procs, zero_costs());
+    for (int t = 0; t < 4; ++t) {
+      const int task = engine.add_task("t" + std::to_string(t), t % procs);
+      for (int i = 0; i < 5; ++i)
+        engine.post_external(task, SimTime::from_us(100), nullptr);
+    }
+    const RunStats s = engine.run();
+    // 4 tasks × 5 items × 100us = 2ms of work, split over `procs`.
+    EXPECT_EQ(s.makespan.ns, SimTime::from_ms(2).ns / procs)
+        << procs << " processors";
+  }
+}
+
+TEST(Engine, ContextSwitchChargedOnTaskChange) {
+  CostModel m = zero_costs();
+  m.ctx_switch = SimTime::from_us(10);
+  Engine engine(1, m);
+  const int a = engine.add_task("a", 0);
+  const int b = engine.add_task("b", 0);
+  // a then b then a: two switches (a→b, b→a); first dispatch is free.
+  engine.post_external(a, SimTime::from_us(100), nullptr, SimTime::from_us(0));
+  engine.post_external(b, SimTime::from_us(100), nullptr,
+                       SimTime::from_us(100));
+  engine.post_external(a, SimTime::from_us(100), nullptr,
+                       SimTime::from_us(220));
+  const RunStats s = engine.run();
+  EXPECT_EQ(s.switches, 2u);
+  EXPECT_EQ(s.switch_time, SimTime::from_us(20));
+}
+
+TEST(Engine, CrossTaskMessageCost) {
+  CostModel m = zero_costs();
+  m.inter_task_msg = SimTime::from_us(5);
+  Engine engine(2, m);
+  const int a = engine.add_task("a", 0);
+  const int b = engine.add_task("b", 1);
+  engine.post_external(a, SimTime::from_us(10), [b](Context& ctx) {
+    ctx.post(b, SimTime::from_us(10), nullptr);  // crosses tasks
+  });
+  const RunStats s = engine.run();
+  EXPECT_EQ(s.cross_task_msgs, 1u);
+  EXPECT_EQ(s.msg_time, SimTime::from_us(5));
+  // 10 (a) + 5 (msg) + 10 (b) = 25us end-to-end.
+  EXPECT_EQ(s.makespan, SimTime::from_us(25));
+}
+
+TEST(Engine, CentralizedSchedulerSerializes) {
+  // With per-item scheduler cost S serialized, N items on P processors take
+  // at least N*S even when the work itself is perfectly parallel.
+  CostModel central = zero_costs();
+  central.sched_per_item = SimTime::from_us(50);
+  central.centralized_scheduler = true;
+
+  CostModel decentral = central;
+  decentral.centralized_scheduler = false;
+
+  const auto run_with = [](CostModel m) {
+    Engine engine(4, m);
+    for (int t = 0; t < 4; ++t) {
+      const int task = engine.add_task("t" + std::to_string(t), t);
+      for (int i = 0; i < 8; ++i)
+        engine.post_external(task, SimTime::from_us(10), nullptr);
+    }
+    return engine.run().makespan;
+  };
+
+  const SimTime central_time = run_with(central);
+  const SimTime decentral_time = run_with(decentral);
+  EXPECT_GT(central_time.ns, decentral_time.ns);
+  // Centralized: 32 items × 50us scheduler = 1.6ms lower bound.
+  EXPECT_GE(central_time, SimTime::from_us(32 * 50));
+  // Decentralized: each processor pays its own 8×(50+10)us = 480us.
+  EXPECT_EQ(decentral_time, SimTime::from_us(480));
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    CostModel m;
+    Engine engine(3, m);
+    std::vector<int> tasks;
+    for (int t = 0; t < 5; ++t) tasks.push_back(engine.add_task("t", -1));
+    for (int i = 0; i < 20; ++i)
+      engine.post_external(tasks[static_cast<std::size_t>(i) % 5],
+                           SimTime::from_us(10 + i), nullptr);
+    return engine.run().makespan.ns;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, EarliestReadyItemRunsFirstWithinTask) {
+  // A delayed item posted first must not block a ready item posted later.
+  Engine engine(1, zero_costs());
+  const int t = engine.add_task("t");
+  std::vector<int> order;
+  engine.post_external(
+      t, SimTime::from_us(1), [&](Context&) { order.push_back(2); },
+      SimTime::from_ms(10));
+  engine.post_external(
+      t, SimTime::from_us(1), [&](Context&) { order.push_back(1); },
+      SimTime::from_us(0));
+  engine.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(Engine, SchedulerShareApproachesOneForTinyWork) {
+  CostModel m = zero_costs();
+  m.sched_per_item = SimTime::from_us(10);
+  Engine engine(1, m);
+  const int t = engine.add_task("t");
+  for (int i = 0; i < 100; ++i)
+    engine.post_external(t, SimTime::from_ns(100), nullptr);
+  const RunStats s = engine.run();
+  EXPECT_GT(s.scheduler_share(), 0.95);
+}
+
+TEST(Engine, StatsAccumulateAcrossRuns) {
+  Engine engine(1, zero_costs());
+  const int t = engine.add_task("t");
+  engine.post_external(t, SimTime::from_us(10), nullptr);
+  engine.run();
+  engine.post_external(t, SimTime::from_us(10), nullptr,
+                       engine.stats().makespan);
+  const RunStats s = engine.run();
+  EXPECT_EQ(s.items, 2u);
+  EXPECT_EQ(s.makespan, SimTime::from_us(20));
+}
+
+TEST(Engine, RejectsBadConfig) {
+  EXPECT_THROW(Engine(0), std::invalid_argument);
+  Engine engine(2);
+  EXPECT_THROW(engine.add_task("x", 5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mcam::sim
