@@ -10,7 +10,7 @@
 // the channel with spurious copies, an over-loose one idles it.
 #include <cstdio>
 
-#include "estelle/sched.hpp"
+#include "estelle/executor.hpp"
 #include "osi/stack.hpp"
 
 using namespace mcam;
@@ -50,15 +50,13 @@ Outcome run_case(int window, SimTime rto, double loss, int messages) {
     ua.ip("svc").output(Interaction(osi::kTDatReq,
                                     {static_cast<std::uint8_t>(i)}));
 
-  estelle::SequentialScheduler::Config scfg;
-  scfg.max_steps = 500000;
-  estelle::SequentialScheduler sched(spec, scfg);
-  sched.run_until([&] {
+  auto executor = estelle::make_executor(spec, {.max_steps = 500000});
+  executor->run_until([&] {
     return ub.ip("svc").queue_length() >= static_cast<std::size_t>(messages);
   });
 
   Outcome out;
-  out.time = sched.now();
+  out.time = executor->now();
   out.retransmissions = a.retransmissions();
   out.data_pdus = a.data_pdus_sent();
   out.complete =

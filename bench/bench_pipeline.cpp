@@ -15,7 +15,8 @@
 // loses for short ones (the inter-module synchronization dominates).
 #include <cstdio>
 
-#include "estelle/sched.hpp"
+#include "estelle/executor.hpp"
+#include "estelle/module.hpp"
 
 using namespace mcam;
 using common::SimTime;
@@ -87,13 +88,12 @@ SimTime run_pipeline(int items, int stages, SimTime stage_cost,
                      chain[static_cast<std::size_t>(s) + 1]->ip("in"));
   spec.initialize();
 
-  estelle::ParallelSimScheduler::Config cfg;
-  cfg.processors = processors;
-  cfg.mapping = estelle::Mapping::ThreadPerModule;
-  estelle::ParallelSimScheduler sched(spec, cfg);
-  sched.run_until(
-      [&] { return chain.back()->processed() >= items; });
-  return sched.now();
+  auto executor = estelle::make_executor(
+      spec, {.kind = estelle::ExecutorKind::ParallelSim,
+             .processors = processors,
+             .mapping = estelle::Mapping::ThreadPerModule});
+  executor->run_until([&] { return chain.back()->processed() >= items; });
+  return executor->now();
 }
 
 }  // namespace

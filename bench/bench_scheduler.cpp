@@ -28,14 +28,15 @@ struct Measurement {
 
 Measurement run_with(const PsConfig& cfg, bool centralized) {
   PsWorkload w = build_ps_workload(cfg);
-  estelle::ParallelSimScheduler::Config pcfg;
-  pcfg.processors = 8;
-  pcfg.mapping = estelle::Mapping::ConnectionPerProcessor;
-  pcfg.costs.sched_per_item = common::SimTime::from_us(15);
-  pcfg.costs.centralized_scheduler = centralized;
-  estelle::ParallelSimScheduler sched(*w.spec, pcfg);
+  estelle::ExecutorConfig runtime;
+  runtime.kind = estelle::ExecutorKind::ParallelSim;
+  runtime.processors = 8;
+  runtime.mapping = estelle::Mapping::ConnectionPerProcessor;
+  runtime.costs.sched_per_item = common::SimTime::from_us(15);
+  runtime.costs.centralized_scheduler = centralized;
+  auto executor = estelle::make_executor(*w.spec, runtime);
   const estelle::SchedulerStats stats =
-      sched.run_until([&] { return w.done(); });
+      executor->run_until([&] { return w.done(); }).stats;
   // Centralized: the scheduler is one serialized resource; its share of the
   // runtime is its busy fraction of the makespan (the "80%" metric).
   // Decentralized: bookkeeping happens on each unit in parallel; its share

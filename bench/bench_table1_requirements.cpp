@@ -39,7 +39,7 @@ ControlMeasurement measure_control() {
   const int kExchanges = 60;
   std::uint64_t wire_bytes = 0;
   int ok = 0;
-  const SimTime start = bed.scheduler().now();
+  const SimTime start = bed.executor().now();
   for (int i = 0; i < kExchanges; ++i) {
     const core::Pdu request = core::AttrQueryReq{1, {"title", "duration"}};
     wire_bytes += core::encode(request).size();
@@ -49,7 +49,7 @@ ControlMeasurement measure_control() {
       wire_bytes += core::encode(core::Pdu{resp.value()}).size();
     }
   }
-  const SimTime elapsed = bed.scheduler().now() - start;
+  const SimTime elapsed = bed.executor().now() - start;
   m.data_rate_kbps =
       static_cast<double>(wire_bytes) * 8.0 / elapsed.seconds() / 1e3;
   m.reliability = static_cast<double>(ok) / kExchanges;

@@ -19,7 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "estelle/sched.hpp"
+#include "estelle/executor.hpp"
 #include "osi/presentation.hpp"
 #include "osi/service.hpp"
 #include "osi/session.hpp"
@@ -209,26 +209,30 @@ inline PsWorkload build_ps_workload(const PsConfig& cfg) {
   return w;
 }
 
+/// Completion time of a fresh workload under an arbitrary runtime.
+inline SimTime run_workload(const PsConfig& cfg,
+                            const estelle::ExecutorConfig& runtime) {
+  PsWorkload w = build_ps_workload(cfg);
+  auto executor = estelle::make_executor(*w.spec, runtime);
+  executor->run_until([&] { return w.done(); });
+  return executor->now();
+}
+
 /// Sequential completion time of a fresh workload.
 inline SimTime run_sequential(const PsConfig& cfg) {
-  PsWorkload w = build_ps_workload(cfg);
-  estelle::SequentialScheduler sched(*w.spec);
-  sched.run_until([&] { return w.done(); });
-  return sched.now();
+  return run_workload(cfg, {.kind = estelle::ExecutorKind::Sequential});
 }
 
 /// Parallel completion time of a fresh workload.
 inline SimTime run_parallel(const PsConfig& cfg, int processors,
                             estelle::Mapping mapping,
                             sim::CostModel costs = {}) {
-  PsWorkload w = build_ps_workload(cfg);
-  estelle::ParallelSimScheduler::Config pcfg;
-  pcfg.processors = processors;
-  pcfg.mapping = mapping;
-  pcfg.costs = costs;
-  estelle::ParallelSimScheduler sched(*w.spec, pcfg);
-  sched.run_until([&] { return w.done(); });
-  return sched.now();
+  estelle::ExecutorConfig runtime;
+  runtime.kind = estelle::ExecutorKind::ParallelSim;
+  runtime.processors = processors;
+  runtime.mapping = mapping;
+  runtime.costs = costs;
+  return run_workload(cfg, runtime);
 }
 
 }  // namespace mcam::bench

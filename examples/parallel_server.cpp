@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "estelle/sched.hpp"
+#include "estelle/executor.hpp"
 #include "mcam/testbed.hpp"
 
 using namespace mcam;
@@ -53,17 +53,15 @@ SimTime run_batch(int clients, int conns_per_client, int requests,
     return true;
   };
 
-  if (processors == 0) {
-    estelle::SequentialScheduler sched(bed.spec());
-    sched.run_until(done);
-    return sched.now();
+  estelle::ExecutorConfig runtime;  // sequential when processors == 0
+  if (processors > 0) {
+    runtime.kind = estelle::ExecutorKind::ParallelSim;
+    runtime.processors = processors;
+    runtime.mapping = estelle::Mapping::ConnectionPerProcessor;
   }
-  estelle::ParallelSimScheduler::Config pcfg;
-  pcfg.processors = processors;
-  pcfg.mapping = estelle::Mapping::ConnectionPerProcessor;
-  estelle::ParallelSimScheduler sched(bed.spec(), pcfg);
-  sched.run_until(done);
-  return sched.now();
+  auto executor = estelle::make_executor(bed.spec(), runtime);
+  executor->run_until(done);
+  return executor->now();
 }
 
 }  // namespace

@@ -1,0 +1,360 @@
+#include "estelle/executor.hpp"
+
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "estelle/module.hpp"
+#include "estelle/sched.hpp"
+#include "estelle/trace.hpp"
+
+namespace mcam::estelle {
+
+namespace {
+
+constexpr SimTime kNever{std::numeric_limits<std::int64_t>::max()};
+
+/// Earliest future time at which a currently-blocked delay transition could
+/// become fireable (state and guard permitting); kNever if none.
+SimTime next_delay_wakeup(Specification& spec, SimTime now) {
+  SimTime best = kNever;
+  spec.root().for_each([&](Module& m) {
+    for (const Transition& t : m.transitions()) {
+      if (t.ip != nullptr || t.delay.ns == 0) continue;
+      if (t.from_state != kAnyState && t.from_state != m.state()) continue;
+      if (t.provided && !t.provided(m, nullptr)) continue;
+      const SimTime ready = m.state_entered_at() + t.delay;
+      if (ready > now && ready < best) best = ready;
+    }
+  });
+  return best;
+}
+
+}  // namespace
+
+const char* mapping_name(Mapping m) noexcept {
+  switch (m) {
+    case Mapping::ThreadPerModule:
+      return "thread-per-module";
+    case Mapping::GroupedUnits:
+      return "grouped-units";
+    case Mapping::ConnectionPerProcessor:
+      return "connection-per-processor";
+    case Mapping::LayerPerProcessor:
+      return "layer-per-processor";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Built-in names, resolvable without touching the registry (used while the
+/// factory registers the built-ins in its own constructor).
+const char* builtin_kind_name(ExecutorKind k) noexcept {
+  switch (k) {
+    case ExecutorKind::Sequential:
+      return "sequential";
+    case ExecutorKind::ParallelSim:
+      return "parallel-sim";
+    case ExecutorKind::Threaded:
+      return "threaded";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* executor_kind_name(ExecutorKind k) noexcept {
+  if (const char* name = builtin_kind_name(k)) return name;
+  return ExecutorFactory::instance().name_of(k);  // out-of-tree backends
+}
+
+bool executor_kind_from_name(const std::string& name,
+                             ExecutorKind* out) noexcept {
+  return ExecutorFactory::instance().kind_by_name(name, out);
+}
+
+const char* stop_reason_name(StopReason r) noexcept {
+  switch (r) {
+    case StopReason::Quiescent:
+      return "quiescent";
+    case StopReason::PredicateSatisfied:
+      return "predicate-satisfied";
+    case StopReason::DeadlineReached:
+      return "deadline-reached";
+    case StopReason::StepLimit:
+      return "step-limit";
+    case StopReason::Aborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// StopCondition
+
+StopReason StopCondition::reason() const noexcept {
+  switch (kind_) {
+    case Kind::Predicate:
+      return StopReason::PredicateSatisfied;
+    case Kind::Deadline:
+      return StopReason::DeadlineReached;
+    case Kind::StepLimit:
+      return StopReason::StepLimit;
+    case Kind::Quiescence:
+      break;
+  }
+  return StopReason::Quiescent;
+}
+
+bool StopCondition::satisfied(SimTime now, std::uint64_t steps) const {
+  switch (kind_) {
+    case Kind::Quiescence:
+      return false;  // the run loop itself detects quiescence
+    case Kind::Predicate:
+      return pred_ && pred_();
+    case Kind::Deadline:
+      return now >= deadline_;
+    case Kind::StepLimit:
+      return steps >= max_steps_;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+
+RunReport Executor::run_until(std::function<bool()> pred) {
+  RunOptions opts;
+  opts.stop.push_back(StopCondition::when(std::move(pred)));
+  return run(opts);
+}
+
+// ---------------------------------------------------------------------------
+// ExecutorBase
+
+/// Fans one notification out to the per-run observers plus the deprecated
+/// process-global TraceRecorder. The legacy recorder is looked up per event
+/// (as the old fire() path did), so mid-run install()/uninstall() takes
+/// effect immediately; a recorder that is both installed globally and passed
+/// in RunOptions::observers is notified once, not twice.
+class ExecutorBase::Chain final : public RunObserver {
+ public:
+  explicit Chain(const std::vector<RunObserver*>& observers) {
+    observers_.reserve(observers.size());
+    for (RunObserver* o : observers)  // tolerate optional (null) observers
+      if (o != nullptr) observers_.push_back(o);
+  }
+
+  void on_run_begin(Executor& ex) override {
+    for (RunObserver* o : observers_) o->on_run_begin(ex);
+  }
+  void on_fire(const Module& m, const Transition& t, SimTime now) override {
+    for (RunObserver* o : observers_) o->on_fire(m, t, now);
+    if (TraceRecorder* legacy = legacy_recorder()) legacy->note_fire(m, t, now);
+  }
+  void on_round_end(Executor& ex, std::uint64_t round) override {
+    for (RunObserver* o : observers_) o->on_round_end(ex, round);
+  }
+  void on_run_end(Executor& ex, const RunReport& report) override {
+    for (RunObserver* o : observers_) o->on_run_end(ex, report);
+  }
+
+ private:
+  [[nodiscard]] TraceRecorder* legacy_recorder() const {
+    TraceRecorder* legacy = TraceRecorder::current();
+    if (legacy == nullptr) return nullptr;
+    for (RunObserver* o : observers_)
+      if (o == legacy) return nullptr;  // already notified via the chain
+    return legacy;
+  }
+
+  std::vector<RunObserver*> observers_;
+};
+
+RunReport ExecutorBase::run(const RunOptions& opts) {
+  Chain chain(opts.observers);
+  // Save/restore the active chain (exception-safe): a stop predicate or a
+  // between-round hook may reentrantly run() this executor, and the outer
+  // run's observers must keep seeing events afterwards. (Reentry from
+  // on_fire is NOT safe — see RunObserver::on_fire.)
+  struct ChainScope {
+    ExecutorBase& self;
+    RunObserver* prev;
+    ~ChainScope() { self.chain_ = prev; }
+  } scope{*this, chain_};
+  chain_ = &chain;
+
+  // Firings of reentrant inner run() calls are attributed to those runs'
+  // reports, not this one's (`fired` means "fired in this run").
+  const std::uint64_t fired_before = stats_.fired;
+  const std::uint64_t prev_nested = nested_fired_;
+  nested_fired_ = 0;
+
+  // Bound idle clock jumps by this run's earliest deadline (saved/restored
+  // for reentrancy).
+  const SimTime prev_deadline = run_deadline_;
+  run_deadline_ = kNever;
+  for (const StopCondition& c : opts.stop)
+    if (c.kind() == StopCondition::Kind::Deadline &&
+        c.deadline_time() < run_deadline_)
+      run_deadline_ = c.deadline_time();
+  struct DeadlineScope {
+    ExecutorBase& self;
+    SimTime prev;
+    ~DeadlineScope() { self.run_deadline_ = prev; }
+  } deadline_scope{*this, prev_deadline};
+
+  const auto make_report = [&](StopReason reason, std::uint64_t steps) {
+    finalize_stats();
+    stats_.time = now_;
+    RunReport report;
+    report.kind = kind();
+    report.reason = reason;
+    report.steps = steps;
+    report.fired = stats_.fired - fired_before - nested_fired_;
+    report.stats = stats_;
+    report.time = now_;
+    nested_fired_ = prev_nested + (stats_.fired - fired_before);
+    return report;
+  };
+
+  StopReason reason = StopReason::Quiescent;
+  std::uint64_t steps = 0;
+  try {
+    chain.on_run_begin(*this);
+    for (;;) {
+      std::optional<StopReason> stop;
+      for (const StopCondition& c : opts.stop) {
+        if (c.satisfied(now_, steps)) {
+          stop = c.reason();
+          break;
+        }
+      }
+      if (!stop && steps >= step_limit_) stop = StopReason::StepLimit;
+      if (stop) {
+        reason = *stop;
+        break;
+      }
+      if (!step()) {
+        reason = StopReason::Quiescent;
+        break;
+      }
+      ++steps;
+      chain.on_round_end(*this, steps);
+    }
+  } catch (...) {
+    // Keep begin/end-paired observers balanced: deliver on_run_end with the
+    // partial report before the exception propagates.
+    chain.on_run_end(*this, make_report(StopReason::Aborted, steps));
+    throw;
+  }
+
+  RunReport report = make_report(reason, steps);
+  chain.on_run_end(*this, report);
+  return report;
+}
+
+std::vector<FiringCandidate> ExecutorBase::collect_candidates(
+    int* scan_effort) {
+  std::vector<FiringCandidate> candidates;
+  for (Module* sm : spec_.system_modules()) {
+    auto v = collect_firing_set(*sm, now_, scan_effort);
+    candidates.insert(candidates.end(), v.begin(), v.end());
+  }
+  return candidates;
+}
+
+bool ExecutorBase::advance_to_wakeup() {
+  const SimTime wake = next_delay_wakeup(spec_, now_);
+  if (wake == kNever) return false;
+  // Never jump past the run's deadline: the clock stays honest and the
+  // between-round check stops the run at (not far beyond) the deadline.
+  now_ = wake < run_deadline_ ? wake : run_deadline_;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+
+ExecutorFactory& ExecutorFactory::instance() {
+  static ExecutorFactory factory;
+  return factory;
+}
+
+ExecutorFactory::ExecutorFactory() {
+  register_backend(
+      ExecutorKind::Sequential, builtin_kind_name(ExecutorKind::Sequential),
+      [](Specification& spec, const ExecutorConfig& cfg) {
+        return std::make_unique<SequentialScheduler>(spec, cfg);
+      });
+  register_backend(
+      ExecutorKind::ParallelSim, builtin_kind_name(ExecutorKind::ParallelSim),
+      [](Specification& spec, const ExecutorConfig& cfg) {
+        return std::make_unique<ParallelSimScheduler>(spec, cfg);
+      });
+  register_backend(
+      ExecutorKind::Threaded, builtin_kind_name(ExecutorKind::Threaded),
+      [](Specification& spec, const ExecutorConfig& cfg) {
+        return std::make_unique<ThreadedScheduler>(spec, cfg);
+      });
+}
+
+void ExecutorFactory::register_backend(ExecutorKind kind, std::string name,
+                                       Creator create) {
+  const std::string* interned = &names_.emplace_back(std::move(name));
+  for (Entry& e : entries_) {
+    if (e.kind == kind) {  // re-registration replaces (last wins)
+      e.name = interned;
+      e.create = std::move(create);
+      return;
+    }
+  }
+  entries_.push_back({kind, interned, std::move(create)});
+}
+
+std::unique_ptr<Executor> ExecutorFactory::create(
+    Specification& spec, const ExecutorConfig& cfg) const {
+  for (const Entry& e : entries_)
+    if (e.kind == cfg.kind) return e.create(spec, cfg);
+  throw std::invalid_argument("unregistered ExecutorKind " +
+                              std::to_string(static_cast<int>(cfg.kind)));
+}
+
+bool ExecutorFactory::known(ExecutorKind kind) const noexcept {
+  for (const Entry& e : entries_)
+    if (e.kind == kind) return true;
+  return false;
+}
+
+std::vector<ExecutorKind> ExecutorFactory::kinds() const {
+  std::vector<ExecutorKind> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.kind);
+  return out;
+}
+
+const char* ExecutorFactory::name_of(ExecutorKind kind) const noexcept {
+  for (const Entry& e : entries_)
+    if (e.kind == kind) return e.name->c_str();
+  return "?";
+}
+
+bool ExecutorFactory::kind_by_name(const std::string& name,
+                                   ExecutorKind* out) const noexcept {
+  for (const Entry& e : entries_) {
+    if (*e.name == name) {
+      if (out != nullptr) *out = e.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<Executor> make_executor(Specification& spec,
+                                        const ExecutorConfig& cfg) {
+  return ExecutorFactory::instance().create(spec, cfg);
+}
+
+}  // namespace mcam::estelle

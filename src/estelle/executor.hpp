@@ -1,0 +1,363 @@
+// The unified Estelle runtime API.
+//
+// The paper's central claim (§4–§5) is that one Estelle specification can be
+// executed by interchangeable runtimes — a sequential scheduler, a simulated
+// multiprocessor, real parallel threads — and compared fairly. This header is
+// that claim as an interface: every runtime is an `Executor` constructed
+// through `make_executor(spec, config)` and driven through
+// `run(RunOptions) -> RunReport`. Call sites select a backend by value
+// (`ExecutorKind`), never by concrete type; new backends (sharded, work
+// stealing, distributed) register with `ExecutorFactory` and every existing
+// consumer can use them unchanged.
+//
+// Vocabulary:
+//   StopCondition — when a run ends besides quiescence: a predicate over the
+//                   world, a virtual-time deadline, or a round budget.
+//   RunObserver   — per-run hook chain (fire events, round boundaries, run
+//                   lifecycle). Replaces the old process-global trace
+//                   singleton as the primary observation path.
+//   RunReport     — what happened: stop reason, rounds and firings of this
+//                   run, and the executor-lifetime SchedulerStats.
+//
+// Observer contract: all RunObserver callbacks are invoked on the thread that
+// called run(), even under the real-thread backend (which announces a round's
+// firing set before its workers execute it). Observers therefore need no
+// internal locking.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "sim/engine.hpp"
+
+namespace mcam::estelle {
+
+using common::SimTime;
+
+class Module;
+struct Transition;
+class Specification;
+class Executor;
+
+/// A (module, transition) pair chosen for one step.
+struct FiringCandidate {
+  Module* module = nullptr;
+  const Transition* transition = nullptr;
+};
+
+/// Module→unit mapping policies (§3, §5.2 and [6] as cited by the paper).
+enum class Mapping {
+  /// One OSF/1 thread per Estelle module — the code generator's default,
+  /// "maximum degree of parallelism allowed by Estelle semantics".
+  ThreadPerModule,
+  /// As many units as processors; modules assigned round-robin. §5.2's
+  /// grouping scheme that removes synchronization losses.
+  GroupedUnits,
+  /// All modules of one connection subtree share a unit — the
+  /// connection-per-processor layout that [6] found superior.
+  ConnectionPerProcessor,
+  /// One unit per protocol layer (tree depth) — the layout [6] found
+  /// inferior; included so the comparison can be reproduced.
+  LayerPerProcessor,
+};
+
+[[nodiscard]] const char* mapping_name(Mapping m) noexcept;
+
+/// Executor-lifetime counters, cumulative across runs (a client facade pumps
+/// the same executor many times; virtual time keeps advancing).
+struct SchedulerStats {
+  SimTime time{};          // virtual completion time
+  std::uint64_t fired = 0;
+  std::uint64_t rounds = 0;
+  SimTime busy{};          // transition execution time
+  SimTime sched_time{};    // selection + bookkeeping time
+  SimTime switch_time{};   // context switches (parallel only)
+  SimTime msg_time{};      // inter-unit messages (parallel only)
+
+  [[nodiscard]] double scheduler_share() const noexcept {
+    const double total = static_cast<double>(busy.ns + sched_time.ns +
+                                             switch_time.ns + msg_time.ns);
+    return total == 0.0 ? 0.0 : static_cast<double>(sched_time.ns) / total;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Run vocabulary
+
+/// The available runtimes. Values are stable; future backends extend this
+/// enum and register with ExecutorFactory.
+enum class ExecutorKind {
+  Sequential,   // single processor, virtual time — the speedup baseline
+  ParallelSim,  // simulated multiprocessor (the KSR1 experiments, §5)
+  Threaded,     // real std::thread execution, deterministic commit order
+};
+
+inline constexpr ExecutorKind kAllExecutorKinds[] = {
+    ExecutorKind::Sequential, ExecutorKind::ParallelSim,
+    ExecutorKind::Threaded};
+
+/// Name of a kind — built-in or registered with ExecutorFactory.
+[[nodiscard]] const char* executor_kind_name(ExecutorKind k) noexcept;
+/// Inverse of executor_kind_name (exact match); false if unknown.
+[[nodiscard]] bool executor_kind_from_name(const std::string& name,
+                                           ExecutorKind* out) noexcept;
+
+/// Why a run ended.
+enum class StopReason {
+  Quiescent,           // no fireable transition anywhere, no pending wakeup
+  PredicateSatisfied,  // a StopCondition::when() predicate returned true
+  DeadlineReached,     // virtual clock passed a StopCondition::deadline()
+  StepLimit,           // round budget exhausted (per-run or config backstop)
+  Aborted,             // an exception escaped the run; seen only in the
+                       // partial report delivered to on_run_end before it
+                       // propagates
+};
+
+[[nodiscard]] const char* stop_reason_name(StopReason r) noexcept;
+
+/// One reason to end a run early. A run always ends on quiescence; stop
+/// conditions are checked between rounds and the first satisfied one wins.
+class StopCondition {
+ public:
+  enum class Kind { Quiescence, Predicate, Deadline, StepLimit };
+
+  /// Run to quiescence only — the implicit default; never stops early.
+  static StopCondition quiescence() { return StopCondition(Kind::Quiescence); }
+  /// Stop once `pred()` is true (checked between rounds). A null predicate
+  /// is a programming error and throws immediately rather than producing a
+  /// condition that silently never fires.
+  static StopCondition when(std::function<bool()> pred) {
+    if (!pred)
+      throw std::invalid_argument("StopCondition::when: null predicate");
+    StopCondition c(Kind::Predicate);
+    c.pred_ = std::move(pred);
+    return c;
+  }
+  /// Stop once virtual time reaches `at`.
+  static StopCondition deadline(SimTime at) {
+    StopCondition c(Kind::Deadline);
+    c.deadline_ = at;
+    return c;
+  }
+  /// Stop after `n` rounds of this run.
+  static StopCondition max_steps(std::uint64_t n) {
+    StopCondition c(Kind::StepLimit);
+    c.max_steps_ = n;
+    return c;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  /// The deadline of a Deadline condition (meaningless for other kinds).
+  [[nodiscard]] SimTime deadline_time() const noexcept { return deadline_; }
+  [[nodiscard]] StopReason reason() const noexcept;
+  /// True when met; `now` is the virtual clock, `steps` the rounds completed
+  /// so far in this run.
+  [[nodiscard]] bool satisfied(SimTime now, std::uint64_t steps) const;
+
+ private:
+  explicit StopCondition(Kind k) : kind_(k) {}
+
+  Kind kind_;
+  std::function<bool()> pred_;
+  SimTime deadline_{};
+  std::uint64_t max_steps_ = 0;
+};
+
+/// Per-run observation hooks. Default implementations do nothing; override
+/// what you need. See the observer contract in the header comment.
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+  virtual void on_run_begin(Executor& /*executor*/) {}
+  /// Announced before the transition's action executes, so `module.state()`
+  /// is still the from-state. Do not reentrantly run() the executor from
+  /// here — the announced firing is still in flight; reentry is safe only
+  /// from between-round hooks (stop predicates, on_round_end).
+  virtual void on_fire(const Module& /*module*/,
+                       const Transition& /*transition*/, SimTime /*now*/) {}
+  virtual void on_round_end(Executor& /*executor*/, std::uint64_t /*round*/) {}
+  virtual void on_run_end(Executor& /*executor*/,
+                          const struct RunReport& /*report*/) {}
+};
+
+/// Parameters of one run() call.
+struct RunOptions {
+  /// Stop conditions, any-of. Empty ⇒ run to quiescence (or the executor's
+  /// configured round backstop).
+  std::vector<StopCondition> stop;
+  /// Observers for this run, notified in order. Not owned; must outlive the
+  /// run() call.
+  std::vector<RunObserver*> observers;
+};
+
+/// What one run() call did.
+struct RunReport {
+  ExecutorKind kind{};
+  StopReason reason = StopReason::Quiescent;
+  std::uint64_t steps = 0;  // rounds executed in this run
+  std::uint64_t fired = 0;  // transitions fired in this run
+  SchedulerStats stats{};   // executor-lifetime cumulative counters
+  SimTime time{};           // virtual clock when the run ended
+};
+
+// ---------------------------------------------------------------------------
+// Executor
+
+/// A runtime for one Estelle specification. Implementations honor the §4
+/// scheduling semantics (parent precedence, process/activity parallelism,
+/// independent system modules); they differ in how the firing set executes
+/// and what the virtual clock models.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Execute rounds until quiescence or a stop condition. Virtual time and
+  /// SchedulerStats are cumulative across run() calls on the same executor.
+  virtual RunReport run(const RunOptions& opts) = 0;
+  RunReport run() { return run(RunOptions{}); }
+  /// Convenience: run({.stop = {StopCondition::when(pred)}}).
+  RunReport run_until(std::function<bool()> pred);
+
+  [[nodiscard]] virtual ExecutorKind kind() const noexcept = 0;
+  [[nodiscard]] virtual SimTime now() const noexcept = 0;
+  [[nodiscard]] virtual const SchedulerStats& stats() const noexcept = 0;
+  /// Execution units this runtime drives (simulated units, threads, …).
+  [[nodiscard]] virtual int unit_count() const noexcept { return 1; }
+};
+
+/// Shared skeleton for executors: owns the virtual clock, the cumulative
+/// stats, the run loop (stop-condition checks, observer lifecycle, the
+/// config round backstop) and the firing-set/wakeup helpers all current
+/// backends share. A new backend implements step() — one round, false when
+/// quiescent — and optionally finalize_stats().
+class ExecutorBase : public Executor {
+ public:
+  RunReport run(const RunOptions& opts) override;
+  using Executor::run;
+
+  [[nodiscard]] SimTime now() const noexcept override { return now_; }
+  [[nodiscard]] const SchedulerStats& stats() const noexcept override {
+    return stats_;
+  }
+
+ protected:
+  ExecutorBase(Specification& spec, std::uint64_t step_limit)
+      : spec_(spec), step_limit_(step_limit) {}
+
+  /// One scheduling round; returns false when the world is quiescent.
+  virtual bool step() = 0;
+  /// Called after the loop ends, before the report is assembled (e.g. to
+  /// pull aggregate counters out of a simulation engine).
+  virtual void finalize_stats() {}
+
+  /// Firing set across all system modules at now(), parent precedence and
+  /// process/activity semantics applied; adds guard-scan count to
+  /// *scan_effort if given.
+  [[nodiscard]] std::vector<FiringCandidate> collect_candidates(
+      int* scan_effort = nullptr);
+  /// Advance the clock to the earliest delay-transition wakeup — clamped to
+  /// the active run's earliest deadline so an idle jump never overshoots a
+  /// requested StopCondition::deadline(); false if there is no wakeup (the
+  /// world is quiescent).
+  bool advance_to_wakeup();
+  /// The observer chain of the active run (includes the deprecated global
+  /// TraceRecorder, if installed); null outside run().
+  [[nodiscard]] RunObserver* observer() noexcept { return chain_; }
+
+  Specification& spec_;
+  SimTime now_{};
+  SchedulerStats stats_;
+  std::uint64_t step_limit_;
+
+ private:
+  class Chain;
+  RunObserver* chain_ = nullptr;
+  /// Firings contributed by reentrant inner run() calls during the active
+  /// run — subtracted so RunReport::fired stays "fired in THIS run".
+  std::uint64_t nested_fired_ = 0;
+  /// Earliest StopCondition::deadline() of the active run (SimTime max when
+  /// none); bounds idle clock jumps in advance_to_wakeup().
+  SimTime run_deadline_{std::numeric_limits<std::int64_t>::max()};
+};
+
+// ---------------------------------------------------------------------------
+// Factory
+
+/// Everything needed to build any backend; backends read the fields they
+/// understand and ignore the rest.
+struct ExecutorConfig {
+  ExecutorKind kind = ExecutorKind::Sequential;
+  /// Round backstop (max_steps of the old sequential scheduler, max_rounds
+  /// of the parallel ones).
+  std::uint64_t max_steps = 1'000'000;
+
+  // Sequential cost model:
+  SimTime sched_per_transition = SimTime::from_us(3);
+  SimTime scan_per_guard = SimTime::from_us(1);
+
+  // Simulated-multiprocessor backend:
+  int processors = 4;
+  Mapping mapping = Mapping::ThreadPerModule;
+  sim::CostModel costs{};
+
+  // Real-thread backend:
+  int threads = 2;
+
+  /// Escape hatch for backends registered out of tree: their creator reads
+  /// whatever typed options it expects from here, so new runtimes get
+  /// configuration without widening this struct.
+  std::any backend_options;
+};
+
+/// Registry mapping ExecutorKind to a constructor. The three paper runtimes
+/// are pre-registered; out-of-tree backends add themselves with
+/// register_backend() and immediately work at every make_executor call site.
+class ExecutorFactory {
+ public:
+  using Creator = std::function<std::unique_ptr<Executor>(
+      Specification&, const ExecutorConfig&)>;
+
+  static ExecutorFactory& instance();
+
+  void register_backend(ExecutorKind kind, std::string name, Creator create);
+  [[nodiscard]] std::unique_ptr<Executor> create(
+      Specification& spec, const ExecutorConfig& cfg) const;
+  [[nodiscard]] bool known(ExecutorKind kind) const noexcept;
+  [[nodiscard]] std::vector<ExecutorKind> kinds() const;
+  /// Registered name of `kind` ("?" if unregistered); the inverse of
+  /// kind_by_name. executor_kind_name/executor_kind_from_name route through
+  /// these, so registered out-of-tree backends round-trip names too.
+  [[nodiscard]] const char* name_of(ExecutorKind kind) const noexcept;
+  [[nodiscard]] bool kind_by_name(const std::string& name,
+                                  ExecutorKind* out) const noexcept;
+
+ private:
+  ExecutorFactory();
+
+  struct Entry {
+    ExecutorKind kind;
+    const std::string* name;  // interned in names_; stable for process life
+    Creator create;
+  };
+  /// Grow-only intern pool: pointers returned by name_of() stay valid
+  /// across later registrations (including re-registration of a kind).
+  std::deque<std::string> names_;
+  std::vector<Entry> entries_;
+};
+
+/// Build a runtime for `spec`. The one constructor every call site uses:
+///   auto ex = make_executor(spec);                                // sequential
+///   auto ex = make_executor(spec, {.kind = ExecutorKind::ParallelSim,
+///                                  .processors = 8});
+[[nodiscard]] std::unique_ptr<Executor> make_executor(
+    Specification& spec, const ExecutorConfig& cfg = {});
+
+}  // namespace mcam::estelle

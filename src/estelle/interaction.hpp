@@ -114,10 +114,11 @@ void connect(InteractionPoint& a, InteractionPoint& b);
 void disconnect(InteractionPoint& ip) noexcept;
 
 /// While alive on a thread, outputs on that thread are recorded instead of
-/// delivered; commit() hands them to the peers. The ThreadedScheduler uses
-/// one capture per firing candidate and commits in deterministic candidate
-/// order after the parallel join, making real-thread execution race-free
-/// and bit-identical to sequential execution.
+/// delivered; commit() hands them to the peers. The real-thread executor
+/// (ExecutorKind::Threaded) uses one capture per firing candidate and
+/// commits in deterministic candidate order after the parallel join, making
+/// real-thread execution race-free and bit-identical to sequential
+/// execution.
 class OutputCapture {
  public:
   OutputCapture() = default;

@@ -1,17 +1,12 @@
 #include "estelle/sched.hpp"
 
-#include "estelle/trace.hpp"
-
 #include <algorithm>
-#include <limits>
 #include <optional>
 #include <thread>
 
 namespace mcam::estelle {
 
 namespace {
-
-constexpr SimTime kNever{std::numeric_limits<std::int64_t>::max()};
 
 /// Collect at most one candidate from an activity subtree (all modules in it
 /// are activity-attributed, so sequential by definition).
@@ -48,22 +43,6 @@ void collect(Module& m, SimTime now, std::vector<FiringCandidate>& out,
   }
 }
 
-/// Earliest future time at which a currently-blocked delay transition could
-/// become fireable (state and guard permitting); kNever if none.
-SimTime next_delay_wakeup(Specification& spec, SimTime now) {
-  SimTime best = kNever;
-  spec.root().for_each([&](Module& m) {
-    for (const Transition& t : m.transitions()) {
-      if (t.ip != nullptr || t.delay.ns == 0) continue;
-      if (t.from_state != kAnyState && t.from_state != m.state()) continue;
-      if (t.provided && !t.provided(m, nullptr)) continue;
-      const SimTime ready = m.state_entered_at() + t.delay;
-      if (ready > now && ready < best) best = ready;
-    }
-  });
-  return best;
-}
-
 }  // namespace
 
 std::vector<FiringCandidate> collect_firing_set(Module& system_module,
@@ -76,11 +55,10 @@ std::vector<FiringCandidate> collect_firing_set(Module& system_module,
   return out;
 }
 
-void fire(const FiringCandidate& c, SimTime now) {
+void fire(const FiringCandidate& c, SimTime now, RunObserver* observer) {
   Module& m = *c.module;
   const Transition& t = *c.transition;
-  if (TraceRecorder* recorder = TraceRecorder::current())
-    recorder->note_fire(m, t, now);
+  if (observer != nullptr) observer->on_fire(m, t, now);
   std::optional<Interaction> msg;
   const Interaction* head = nullptr;
   if (t.ip != nullptr) {
@@ -94,85 +72,51 @@ void fire(const FiringCandidate& c, SimTime now) {
   }
 }
 
-const char* mapping_name(Mapping m) noexcept {
-  switch (m) {
-    case Mapping::ThreadPerModule:
-      return "thread-per-module";
-    case Mapping::GroupedUnits:
-      return "grouped-units";
-    case Mapping::ConnectionPerProcessor:
-      return "connection-per-processor";
-    case Mapping::LayerPerProcessor:
-      return "layer-per-processor";
-  }
-  return "?";
-}
-
 // ---------------------------------------------------------------------------
 // SequentialScheduler
 
-SequentialScheduler::SequentialScheduler(Specification& spec)
-    : SequentialScheduler(spec, Config{}) {}
-
-SequentialScheduler::SequentialScheduler(Specification& spec, Config cfg)
-    : spec_(spec), cfg_(cfg) {}
+SequentialScheduler::SequentialScheduler(Specification& spec,
+                                         const ExecutorConfig& cfg)
+    : ExecutorBase(spec, cfg.max_steps),
+      sched_per_transition_(cfg.sched_per_transition),
+      scan_per_guard_(cfg.scan_per_guard) {}
 
 bool SequentialScheduler::step() {
   int effort = 0;
-  std::vector<FiringCandidate> candidates;
-  for (Module* sm : spec_.system_modules()) {
-    auto v = collect_firing_set(*sm, now_, &effort);
-    candidates.insert(candidates.end(), v.begin(), v.end());
-  }
-  const SimTime scan_cost{cfg_.scan_per_guard.ns * effort};
+  std::vector<FiringCandidate> candidates = collect_candidates(&effort);
+  const SimTime scan_cost{scan_per_guard_.ns * effort};
   now_ += scan_cost;
   stats_.sched_time += scan_cost;
 
-  if (candidates.empty()) {
-    // Advance virtual time to the next delay-transition wakeup, if any.
-    const SimTime wake = next_delay_wakeup(spec_, now_);
-    if (wake == kNever) return false;
-    now_ = wake;
-    return true;
-  }
+  if (candidates.empty()) return advance_to_wakeup();
 
   for (const FiringCandidate& c : candidates) {
     // Revalidate: an earlier firing in this round may have consumed state.
     if (!is_fireable(*c.transition, *c.module, now_)) continue;
-    now_ += cfg_.sched_per_transition;
-    stats_.sched_time += cfg_.sched_per_transition;
+    now_ += sched_per_transition_;
+    stats_.sched_time += sched_per_transition_;
     now_ += c.transition->cost;
     stats_.busy += c.transition->cost;
-    fire(c, now_);
+    fire(c, now_, observer());
     ++stats_.fired;
   }
   ++stats_.rounds;
   return true;
 }
 
-SchedulerStats SequentialScheduler::run() {
-  return run_until([] { return false; });
-}
-
-SchedulerStats SequentialScheduler::run_until(
-    const std::function<bool()>& done) {
-  std::uint64_t steps = 0;
-  while (!done() && steps++ < cfg_.max_steps) {
-    if (!step()) break;
-  }
-  stats_.time = now_;
-  return stats_;
-}
-
 // ---------------------------------------------------------------------------
 // ParallelSimScheduler
 
-ParallelSimScheduler::ParallelSimScheduler(Specification& spec, Config cfg)
-    : spec_(spec), cfg_(cfg), engine_(cfg.processors, cfg.costs) {
-  if (cfg_.mapping == Mapping::GroupedUnits) {
+ParallelSimScheduler::ParallelSimScheduler(Specification& spec,
+                                           const ExecutorConfig& cfg)
+    : ExecutorBase(spec, cfg.max_steps),
+      processors_(cfg.processors),
+      mapping_(cfg.mapping),
+      engine_(cfg.processors, cfg.costs) {
+  if (mapping_ == Mapping::GroupedUnits) {
     // Exactly one unit per processor, created up front; modules round-robin
     // onto them (§5.2's grouping scheme).
-    for (int p = 0; p < cfg_.processors; ++p)
+    for (int p = 0; p < processors_; ++p)
       engine_.add_task("unit" + std::to_string(p), p);
   }
 }
@@ -193,13 +137,13 @@ int ParallelSimScheduler::unit_of(Module& m) {
     }
     return it->second;
   }
-  switch (cfg_.mapping) {
+  switch (mapping_) {
     case Mapping::ThreadPerModule:
       key = m.instance_id();
       break;
     case Mapping::GroupedUnits:
       return static_cast<int>(m.instance_id() %
-                              static_cast<std::uint64_t>(cfg_.processors));
+                              static_cast<std::uint64_t>(processors_));
     case Mapping::ConnectionPerProcessor: {
       // Unit = the subtree rooted at a direct child of a system module (one
       // "connection"); the system module itself is its own unit.
@@ -231,18 +175,8 @@ int ParallelSimScheduler::unit_of(Module& m) {
 }
 
 bool ParallelSimScheduler::step() {
-  int effort = 0;
-  std::vector<FiringCandidate> candidates;
-  for (Module* sm : spec_.system_modules()) {
-    auto v = collect_firing_set(*sm, now_, &effort);
-    candidates.insert(candidates.end(), v.begin(), v.end());
-  }
-  if (candidates.empty()) {
-    const SimTime wake = next_delay_wakeup(spec_, now_);
-    if (wake == kNever) return false;
-    now_ = wake;
-    return true;
-  }
+  std::vector<FiringCandidate> candidates = collect_candidates();
+  if (candidates.empty()) return advance_to_wakeup();
 
   for (const FiringCandidate& c : candidates) {
     const int unit = unit_of(*c.module);
@@ -251,7 +185,7 @@ bool ParallelSimScheduler::step() {
         unit, c.transition->cost,
         [this, c](sim::Context& ctx) {
           if (!is_fireable(*c.transition, *c.module, ctx.now())) return;
-          fire(c, ctx.now());
+          fire(c, ctx.now(), observer());
           ++stats_.fired;
         },
         when);
@@ -262,57 +196,42 @@ bool ParallelSimScheduler::step() {
   return true;
 }
 
-SchedulerStats ParallelSimScheduler::run() {
-  return run_until([] { return false; });
-}
-
-SchedulerStats ParallelSimScheduler::run_until(
-    const std::function<bool()>& done) {
-  std::uint64_t rounds = 0;
-  while (!done() && rounds++ < cfg_.max_rounds) {
-    if (!step()) break;
-  }
+void ParallelSimScheduler::finalize_stats() {
   const sim::RunStats& s = engine_.stats();
-  stats_.time = now_;
   stats_.busy = s.busy;
   stats_.sched_time = s.sched_time;
   stats_.switch_time = s.switch_time;
   stats_.msg_time = s.msg_time;
-  return stats_;
 }
 
 // ---------------------------------------------------------------------------
 // ThreadedScheduler
 
-ThreadedScheduler::ThreadedScheduler(Specification& spec)
-    : ThreadedScheduler(spec, Config{}) {}
-
-ThreadedScheduler::ThreadedScheduler(Specification& spec, Config cfg)
-    : spec_(spec), cfg_(cfg) {}
+ThreadedScheduler::ThreadedScheduler(Specification& spec,
+                                     const ExecutorConfig& cfg)
+    : ExecutorBase(spec, cfg.max_steps), threads_(cfg.threads) {}
 
 bool ThreadedScheduler::step() {
-  int effort = 0;
-  std::vector<FiringCandidate> candidates;
-  for (Module* sm : spec_.system_modules()) {
-    auto v = collect_firing_set(*sm, now_, &effort);
-    candidates.insert(candidates.end(), v.begin(), v.end());
-  }
-  if (candidates.empty()) {
-    const SimTime wake = next_delay_wakeup(spec_, now_);
-    if (wake == kNever) return false;
-    now_ = wake;
-    return true;
-  }
+  std::vector<FiringCandidate> candidates = collect_candidates();
+  if (candidates.empty()) return advance_to_wakeup();
+
+  const std::size_t n = candidates.size();
+  const SimTime fire_time = now_;
+
+  // Announce the round's firing set up front, on this thread, in candidate
+  // order: observation stays deterministic and observers never see worker
+  // concurrency.
+  if (RunObserver* obs = observer())
+    for (const FiringCandidate& c : candidates)
+      obs->on_fire(*c.module, *c.transition, fire_time);
 
   // Execute candidates in parallel; outputs captured per candidate and
   // committed afterwards in candidate order (deterministic).
-  const std::size_t n = candidates.size();
   std::vector<OutputCapture> captures(n);
   const int nthreads =
-      std::max(1, std::min<int>(cfg_.threads, static_cast<int>(n)));
+      std::max(1, std::min<int>(threads_, static_cast<int>(n)));
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(nthreads));
-  const SimTime fire_time = now_;
   for (int w = 0; w < nthreads; ++w) {
     workers.emplace_back([&, w] {
       for (std::size_t i = static_cast<std::size_t>(w); i < n;
@@ -330,20 +249,6 @@ bool ThreadedScheduler::step() {
   ++stats_.rounds;
   now_ += SimTime::from_us(1);  // nominal round tick so delay clauses advance
   return true;
-}
-
-SchedulerStats ThreadedScheduler::run() {
-  return run_until([] { return false; });
-}
-
-SchedulerStats ThreadedScheduler::run_until(
-    const std::function<bool()>& done) {
-  std::uint64_t rounds = 0;
-  while (!done() && rounds++ < cfg_.max_rounds) {
-    if (!step()) break;
-  }
-  stats_.time = now_;
-  return stats_;
 }
 
 }  // namespace mcam::estelle

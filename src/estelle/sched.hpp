@@ -1,7 +1,6 @@
-// Estelle schedulers.
+// The three built-in Executor backends.
 //
-// Three executors over the same module tree, all honoring the Estelle
-// scheduling semantics of §4 of the paper:
+// All honor the Estelle scheduling semantics of §4 of the paper:
 //
 //   * parent precedence — a child may execute only if no ancestor up to its
 //     system module has a fireable transition; parent and child never run in
@@ -12,34 +11,29 @@
 //     transition fires in the whole child forest per step;
 //   * system modules are mutually independent and asynchronous.
 //
-// Executors:
-//   SequentialScheduler       — single processor, virtual time; the baseline
-//                               of every speedup measurement.
-//   ParallelSimScheduler      — maps modules to units (OSF/1 threads) and
-//                               units to simulated processors via sim::Engine;
-//                               reproduces the KSR1 experiments (§5.1, §5.2).
-//   ThreadedScheduler         — real std::thread execution with deterministic
-//                               output commit order; proves the runtime is
-//                               actually parallel-safe (used by tests).
+// Backends (construct them through make_executor, not by type — this header
+// is an implementation detail of src/estelle/):
+//   SequentialScheduler   — ExecutorKind::Sequential. Single processor,
+//                           virtual time; the baseline of every speedup
+//                           measurement.
+//   ParallelSimScheduler  — ExecutorKind::ParallelSim. Maps modules to units
+//                           (OSF/1 threads) and units to simulated processors
+//                           via sim::Engine; reproduces the KSR1 experiments
+//                           (§5.1, §5.2).
+//   ThreadedScheduler     — ExecutorKind::Threaded. Real std::thread
+//                           execution with deterministic output commit order;
+//                           proves the runtime is actually parallel-safe.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
+#include "estelle/executor.hpp"
 #include "estelle/module.hpp"
 #include "sim/engine.hpp"
 
 namespace mcam::estelle {
-
-using common::SimTime;
-
-/// A (module, transition) pair chosen for one step.
-struct FiringCandidate {
-  Module* module = nullptr;
-  const Transition* transition = nullptr;
-};
 
 /// Compute the firing set of one system-module subtree at time `now`,
 /// honoring parent precedence and process/activity semantics. Also returns
@@ -49,73 +43,33 @@ std::vector<FiringCandidate> collect_firing_set(Module& system_module,
                                                 SimTime now,
                                                 int* scan_effort = nullptr);
 
-/// Fire one candidate: consume the matched interaction (if any), run the
-/// action, apply the to-state, stamp the state-entry time.
-void fire(const FiringCandidate& c, SimTime now);
-
-/// Module→unit mapping policies (§3, §5.2 and [6] as cited by the paper).
-enum class Mapping {
-  /// One OSF/1 thread per Estelle module — the code generator's default,
-  /// "maximum degree of parallelism allowed by Estelle semantics".
-  ThreadPerModule,
-  /// As many units as processors; modules assigned round-robin. §5.2's
-  /// grouping scheme that removes synchronization losses.
-  GroupedUnits,
-  /// All modules of one connection subtree share a unit — the
-  /// connection-per-processor layout that [6] found superior.
-  ConnectionPerProcessor,
-  /// One unit per protocol layer (tree depth) — the layout [6] found
-  /// inferior; included so the comparison can be reproduced.
-  LayerPerProcessor,
-};
-
-[[nodiscard]] const char* mapping_name(Mapping m) noexcept;
-
-struct SchedulerStats {
-  SimTime time{};          // virtual completion time
-  std::uint64_t fired = 0;
-  std::uint64_t rounds = 0;
-  SimTime busy{};          // transition execution time
-  SimTime sched_time{};    // selection + bookkeeping time
-  SimTime switch_time{};   // context switches (parallel only)
-  SimTime msg_time{};      // inter-unit messages (parallel only)
-
-  [[nodiscard]] double scheduler_share() const noexcept {
-    const double total = static_cast<double>(busy.ns + sched_time.ns +
-                                             switch_time.ns + msg_time.ns);
-    return total == 0.0 ? 0.0 : static_cast<double>(sched_time.ns) / total;
-  }
-};
+/// Fire one candidate: announce it to `observer` (if any), consume the
+/// matched interaction (if any), run the action, apply the to-state, stamp
+/// the state-entry time.
+void fire(const FiringCandidate& c, SimTime now,
+          RunObserver* observer = nullptr);
 
 /// Single-processor executor with virtual time. Models the classic
 /// centralized Estelle scheduler: each step scans the module tree (cost
 /// scan_per_guard per examined guard) and executes one firing set member at
 /// a time.
-class SequentialScheduler {
+class SequentialScheduler : public ExecutorBase {
  public:
-  struct Config {
-    SimTime sched_per_transition = SimTime::from_us(3);
-    SimTime scan_per_guard = SimTime::from_us(1);
-    std::uint64_t max_steps = 1'000'000;
-  };
+  /// Backends configure themselves straight from ExecutorConfig (the single
+  /// source of defaults), reading the fields they understand; `kind` is
+  /// ignored — constructing the type IS the kind selection.
+  explicit SequentialScheduler(Specification& spec,
+                               const ExecutorConfig& cfg = {});
 
-  explicit SequentialScheduler(Specification& spec);
-  SequentialScheduler(Specification& spec, Config cfg);
-
-  /// Run until quiescence (no fireable transition anywhere) or max_steps.
-  SchedulerStats run();
-  /// Run until `done()` returns true (checked between rounds) or quiescence.
-  SchedulerStats run_until(const std::function<bool()>& done);
-
-  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] ExecutorKind kind() const noexcept override {
+    return ExecutorKind::Sequential;
+  }
 
  private:
-  bool step();  // one round; returns false when quiescent
+  bool step() override;  // one round; returns false when quiescent
 
-  Specification& spec_;
-  Config cfg_;
-  SimTime now_{};
-  SchedulerStats stats_;
+  SimTime sched_per_transition_;
+  SimTime scan_per_guard_;
 };
 
 /// Parallel executor over the simulated multiprocessor. Round-based: each
@@ -124,59 +78,50 @@ class SequentialScheduler {
 /// availability, context-switch and message costs). The per-round barrier is
 /// a conservative approximation of free-running OSF/1 threads; it slightly
 /// understates overlap, so measured speedups are lower bounds.
-class ParallelSimScheduler {
+class ParallelSimScheduler : public ExecutorBase {
  public:
-  struct Config {
-    int processors = 4;
-    Mapping mapping = Mapping::ThreadPerModule;
-    sim::CostModel costs{};
-    std::uint64_t max_rounds = 1'000'000;
-  };
+  explicit ParallelSimScheduler(Specification& spec,
+                                const ExecutorConfig& cfg = {});
 
-  ParallelSimScheduler(Specification& spec, Config cfg);
-
-  SchedulerStats run();
-  SchedulerStats run_until(const std::function<bool()>& done);
-
-  [[nodiscard]] SimTime now() const noexcept { return now_; }
-  [[nodiscard]] int unit_count() const noexcept { return engine_.task_count(); }
+  [[nodiscard]] ExecutorKind kind() const noexcept override {
+    return ExecutorKind::ParallelSim;
+  }
+  [[nodiscard]] int unit_count() const noexcept override {
+    return engine_.task_count();
+  }
 
  private:
   int unit_of(Module& m);
-  bool step();
+  bool step() override;
+  void finalize_stats() override;
 
-  Specification& spec_;
-  Config cfg_;
+  int processors_;
+  Mapping mapping_;
   sim::Engine engine_;
   std::unordered_map<std::uint64_t, int> unit_by_module_;
-  SimTime now_{};
-  SchedulerStats stats_;
 };
 
 /// Real-thread executor (correctness vehicle). Each round, the firing set
 /// executes on `threads` std::threads; outputs are captured per candidate
 /// and committed in deterministic candidate order after the join, so results
 /// are bit-identical to the sequential executor for well-formed modules.
-class ThreadedScheduler {
+/// Observers are notified for the whole firing set before the workers start
+/// (see the observer contract in executor.hpp), so observation is
+/// deterministic and race-free too.
+class ThreadedScheduler : public ExecutorBase {
  public:
-  struct Config {
-    int threads = 2;
-    std::uint64_t max_rounds = 1'000'000;
-  };
+  explicit ThreadedScheduler(Specification& spec,
+                             const ExecutorConfig& cfg = {});
 
-  explicit ThreadedScheduler(Specification& spec);
-  ThreadedScheduler(Specification& spec, Config cfg);
-
-  SchedulerStats run();
-  SchedulerStats run_until(const std::function<bool()>& done);
+  [[nodiscard]] ExecutorKind kind() const noexcept override {
+    return ExecutorKind::Threaded;
+  }
+  [[nodiscard]] int unit_count() const noexcept override { return threads_; }
 
  private:
-  bool step();
+  bool step() override;
 
-  Specification& spec_;
-  Config cfg_;
-  SimTime now_{};  // virtual: one tick per round (delay clauses still work)
-  SchedulerStats stats_;
+  int threads_;
 };
 
 }  // namespace mcam::estelle

@@ -3,10 +3,14 @@
 // The paper's toolchain generated executable specifications "for validation
 // purposes" before efficient runtime code (§4.2); validating a run means
 // seeing which transitions fired, in what order, with what queue states.
-// TraceRecorder captures exactly that: schedulers call note_fire() (via the
-// install/uninstall hooks) and tests/tools inspect or pretty-print the
-// event list. Deterministic schedulers ⇒ byte-stable traces, so golden
-// traces make strong regression tests.
+// TraceRecorder captures exactly that. It is a RunObserver: pass it in
+// RunOptions::observers and every fire event of that run lands in its event
+// list. Deterministic executors ⇒ byte-stable traces, so golden traces make
+// strong regression tests.
+//
+//   TraceRecorder trace;
+//   executor->run({.observers = {&trace}});
+//   EXPECT_EQ(trace.transition_names(), golden);
 #pragma once
 
 #include <cstdint>
@@ -14,11 +18,9 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "estelle/executor.hpp"
 
 namespace mcam::estelle {
-
-class Module;
-struct Transition;
 
 struct TraceEvent {
   common::SimTime when{};
@@ -29,13 +31,19 @@ struct TraceEvent {
   std::uint64_t sequence = 0;
 };
 
-class TraceRecorder {
+class TraceRecorder : public RunObserver {
  public:
-  /// Install as the global trace sink (only one at a time; RAII-style usage
-  /// recommended: install in the ctor of a test fixture, uninstall in the
-  /// dtor). Passing nullptr uninstalls.
+  /// Deprecated global shim. Installs this recorder as a process-wide
+  /// observer that every executor appends to its per-run chain; passing
+  /// nullptr uninstalls. Prefer RunOptions::observers — the global slot
+  /// exists so pre-Executor call sites (ScopedTrace) keep working.
   static void install(TraceRecorder* recorder) noexcept;
   static TraceRecorder* current() noexcept;
+
+  void on_fire(const Module& module, const Transition& transition,
+               common::SimTime now) override {
+    note_fire(module, transition, now);
+  }
 
   void note_fire(const Module& module, const Transition& transition,
                  common::SimTime now);
@@ -57,7 +65,7 @@ class TraceRecorder {
   std::uint64_t next_sequence_ = 0;
 };
 
-/// RAII installer.
+/// RAII installer for the deprecated global shim.
 class ScopedTrace {
  public:
   ScopedTrace() { TraceRecorder::install(&recorder_); }

@@ -14,7 +14,7 @@ Result<Pdu> McamClient::call(const Pdu& request, Op expect) {
       Interaction(static_cast<int>(op_of(request)), encode(request)));
 
   for (;;) {
-    scheduler_.run_until([&] { return channel.has_input(); });
+    executor_.run_until([&] { return channel.has_input(); });
     if (!channel.has_input())
       return Error::make(kNoResponse,
                          std::string("no response to ") +
@@ -60,7 +60,7 @@ std::size_t McamClient::poll_notifications() {
   auto& channel = app_.mca();
   const std::size_t before = notifications_.size();
   for (;;) {
-    scheduler_.run_until([&] { return channel.has_input(); });
+    executor_.run_until([&] { return channel.has_input(); });
     if (!channel.has_input()) break;
     // Only consume while the head is a notification; anything else belongs
     // to a future call().
@@ -87,7 +87,7 @@ Result<AssociateResp> McamClient::associate(const std::string& user) {
 
 void McamClient::abort() {
   app_.mca().output(Interaction(kAppAbort));
-  scheduler_.run();  // let the abort cascade settle on both sides
+  executor_.run();  // let the abort cascade settle on both sides
   app_.mca().clear();  // drop any stale responses from the dead association
 }
 

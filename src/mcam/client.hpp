@@ -11,8 +11,8 @@
 #include <deque>
 #include <optional>
 
+#include "estelle/executor.hpp"
 #include "estelle/module.hpp"
-#include "estelle/sched.hpp"
 #include "mcam/pdus.hpp"
 
 namespace mcam::core {
@@ -37,8 +37,10 @@ enum ClientError : int {
 
 class McamClient {
  public:
-  McamClient(AppModule& app, estelle::SequentialScheduler& scheduler)
-      : app_(app), scheduler_(scheduler) {}
+  /// Works with any Executor backend; the facade only pumps rounds and
+  /// reads the application channel.
+  McamClient(AppModule& app, estelle::Executor& executor)
+      : app_(app), executor_(executor) {}
 
   // ---- association ----
   common::Result<AssociateResp> associate(const std::string& user);
@@ -102,7 +104,7 @@ class McamClient {
   common::Result<T> typed_call(const Pdu& request, Op expect);
 
   AppModule& app_;
-  estelle::SequentialScheduler& scheduler_;
+  estelle::Executor& executor_;
   std::deque<PositionInd> notifications_;
 };
 

@@ -82,7 +82,7 @@ Testbed::Testbed(Config cfg)
   }
 
   spec_.initialize();
-  scheduler_ = std::make_unique<estelle::SequentialScheduler>(spec_);
+  executor_ = estelle::make_executor(spec_, cfg_.runtime);
 }
 
 Testbed::Connection& Testbed::connection(int client, int conn) {
@@ -91,7 +91,7 @@ Testbed::Connection& Testbed::connection(int client, int conn) {
 }
 
 McamClient Testbed::client(int client, int conn) {
-  return McamClient(*connection(client, conn).app, *scheduler_);
+  return McamClient(*connection(client, conn).app, *executor_);
 }
 
 mtp::StreamUserAgent& Testbed::make_sua(int client, std::uint16_t port) {

@@ -16,7 +16,7 @@
 #include <memory>
 #include <vector>
 
-#include "estelle/sched.hpp"
+#include "estelle/executor.hpp"
 #include "mcam/client.hpp"
 #include "mcam/mca.hpp"
 #include "mcam/server_core.hpp"
@@ -45,6 +45,9 @@ class Testbed {
     /// Insert the ACSE layer of Fig. 3 between the MCA and the control
     /// stack (application-context negotiation on associate).
     bool use_acse = false;
+    /// Which runtime drives the control world (any registered
+    /// ExecutorKind; sequential by default, as in the paper's baseline).
+    estelle::ExecutorConfig runtime{};
   };
 
   struct Connection {
@@ -67,9 +70,7 @@ class Testbed {
   [[nodiscard]] estelle::Specification& spec() noexcept { return spec_; }
   [[nodiscard]] net::SimNetwork& network() noexcept { return network_; }
   [[nodiscard]] McamServerCore& server() noexcept { return *core_; }
-  [[nodiscard]] estelle::SequentialScheduler& scheduler() noexcept {
-    return *scheduler_;
-  }
+  [[nodiscard]] estelle::Executor& executor() noexcept { return *executor_; }
   [[nodiscard]] common::Rng& rng() noexcept { return rng_; }
 
   [[nodiscard]] Connection& connection(int client, int conn = 0);
@@ -101,7 +102,7 @@ class Testbed {
   std::vector<estelle::Module*> client_modules_;
   std::vector<std::vector<Connection>> connections_;
   std::vector<std::unique_ptr<mtp::StreamUserAgent>> suas_;
-  std::unique_ptr<estelle::SequentialScheduler> scheduler_;
+  std::unique_ptr<estelle::Executor> executor_;
 };
 
 }  // namespace mcam::core

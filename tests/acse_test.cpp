@@ -3,7 +3,7 @@
 // end-to-end Testbed integration of Fig. 3 (MCA / ACSE / presentation).
 #include <gtest/gtest.h>
 
-#include "estelle/sched.hpp"
+#include "estelle/executor.hpp"
 #include "mcam/testbed.hpp"
 #include "osi/acse.hpp"
 #include "osi/stack.hpp"
@@ -15,7 +15,7 @@ using common::Bytes;
 using estelle::Attribute;
 using estelle::Interaction;
 using estelle::Module;
-using estelle::SequentialScheduler;
+using estelle::make_executor;
 using estelle::Specification;
 
 TEST(AcseCodec, AarqRoundTrip) {
@@ -93,10 +93,10 @@ struct AcseWorld {
 
 TEST(AcseModuleTest, AssociateDataRelease) {
   AcseWorld w;
-  SequentialScheduler sched(w.spec);
+  auto sched = make_executor(w.spec);
 
   w.cu->ip("svc").output(Interaction(kPConReq, common::to_bytes("areq")));
-  sched.run_until([&] { return w.su->ip("svc").has_input(); });
+  sched->run_until([&] { return w.su->ip("svc").has_input(); });
   ASSERT_TRUE(w.su->ip("svc").has_input());
   Interaction ind = w.su->ip("svc").pop();
   EXPECT_EQ(ind.kind, kPConInd);
@@ -104,7 +104,7 @@ TEST(AcseModuleTest, AssociateDataRelease) {
 
   w.su->ip("svc").output(Interaction(kPConResp, asn1::Value::boolean(true),
                                      common::to_bytes("aresp")));
-  sched.run_until([&] { return w.cu->ip("svc").has_input(); });
+  sched->run_until([&] { return w.cu->ip("svc").has_input(); });
   Interaction conf = w.cu->ip("svc").pop();
   EXPECT_EQ(conf.kind, kPConConf);
   EXPECT_EQ(conf.payload, common::to_bytes("aresp"));
@@ -112,19 +112,19 @@ TEST(AcseModuleTest, AssociateDataRelease) {
 
   // Data passes through untouched.
   w.cu->ip("svc").output(Interaction(kPDatReq, common::to_bytes("data")));
-  sched.run_until([&] { return w.su->ip("svc").has_input(); });
+  sched->run_until([&] { return w.su->ip("svc").has_input(); });
   Interaction data = w.su->ip("svc").pop();
   EXPECT_EQ(data.kind, kPDatInd);
   EXPECT_EQ(data.payload, common::to_bytes("data"));
 
   // Release wraps RLRQ/RLRE and unwraps the user data.
   w.cu->ip("svc").output(Interaction(kPRelReq, common::to_bytes("closing")));
-  sched.run_until([&] { return w.su->ip("svc").has_input(); });
+  sched->run_until([&] { return w.su->ip("svc").has_input(); });
   Interaction rel = w.su->ip("svc").pop();
   EXPECT_EQ(rel.kind, kPRelInd);
   EXPECT_EQ(rel.payload, common::to_bytes("closing"));
   w.su->ip("svc").output(Interaction(kPRelResp, common::to_bytes("ok")));
-  sched.run_until([&] { return w.cu->ip("svc").has_input(); });
+  sched->run_until([&] { return w.cu->ip("svc").has_input(); });
   Interaction relconf = w.cu->ip("svc").pop();
   EXPECT_EQ(relconf.kind, kPRelConf);
   EXPECT_EQ(relconf.payload, common::to_bytes("ok"));
@@ -137,10 +137,10 @@ TEST(AcseModuleTest, ContextMismatchRefusedBeforeApplication) {
   AcseModule::Config wrong_context;
   wrong_context.context = {1, 3, 9999, 77};  // responder speaks another app
   AcseWorld w(wrong_context);
-  SequentialScheduler sched(w.spec);
+  auto sched = make_executor(w.spec);
 
   w.cu->ip("svc").output(Interaction(kPConReq, common::to_bytes("areq")));
-  sched.run_until([&] { return w.cu->ip("svc").has_input(); });
+  sched->run_until([&] { return w.cu->ip("svc").has_input(); });
   ASSERT_TRUE(w.cu->ip("svc").has_input());
   EXPECT_EQ(w.cu->ip("svc").pop().kind, kPConRefuse);
   // The server application never saw the indication.
@@ -151,13 +151,13 @@ TEST(AcseModuleTest, ContextMismatchRefusedBeforeApplication) {
 
 TEST(AcseModuleTest, UserRefusalCarriesUserData) {
   AcseWorld w;
-  SequentialScheduler sched(w.spec);
+  auto sched = make_executor(w.spec);
   w.cu->ip("svc").output(Interaction(kPConReq, common::to_bytes("areq")));
-  sched.run_until([&] { return w.su->ip("svc").has_input(); });
+  sched->run_until([&] { return w.su->ip("svc").has_input(); });
   (void)w.su->ip("svc").pop();
   w.su->ip("svc").output(Interaction(kPConResp, asn1::Value::boolean(false),
                                      common::to_bytes("denied")));
-  sched.run_until([&] { return w.cu->ip("svc").has_input(); });
+  sched->run_until([&] { return w.cu->ip("svc").has_input(); });
   Interaction refused = w.cu->ip("svc").pop();
   EXPECT_EQ(refused.kind, kPConRefuse);
   EXPECT_EQ(refused.payload, common::to_bytes("denied"));

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "estelle/codegen.hpp"
-#include "estelle/sched.hpp"
+#include "estelle/executor.hpp"
 
 namespace mcam::estelle::codegen {
 namespace {
@@ -105,7 +105,7 @@ TEST(CodegenInstantiate, RunsUnderScheduler) {
   user.ip("u").output(Interaction(kConReq));
   user.ip("d").output(Interaction(kAc));
 
-  SequentialScheduler(spec).run();
+  estelle::make_executor(spec)->run();
   EXPECT_EQ(trace, (std::vector<std::string>{"conreq", "ac"}));
   EXPECT_EQ(target.state(), machine.value().state_id("OPEN"));
 }
@@ -124,10 +124,10 @@ TEST(CodegenInstantiate, WatchdogDelayFires) {
 
   // CONreq but never AC: the 500us watchdog must return the machine to IDLE.
   user.ip("u").output(Interaction(machine.value().kind_id("CONreq")));
-  SequentialScheduler sched(spec);
-  sched.run();
+  auto sched = estelle::make_executor(spec);
+  sched->run();
   EXPECT_EQ(target.state(), machine.value().state_id("IDLE"));
-  EXPECT_GE(sched.now(), common::SimTime::from_us(500));
+  EXPECT_GE(sched->now(), common::SimTime::from_us(500));
 }
 
 TEST(CodegenRender, EmitsTransitionTable) {

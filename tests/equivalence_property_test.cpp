@@ -9,7 +9,7 @@
 #include "asn1/value.hpp"
 #include "common/rng.hpp"
 #include "estelle/module.hpp"
-#include "estelle/sched.hpp"
+#include "estelle/executor.hpp"
 
 namespace mcam::estelle {
 namespace {
@@ -108,7 +108,7 @@ class EquivalenceProperty : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(EquivalenceProperty, AllExecutorsAgreeOnRandomGraphs) {
   const std::uint64_t seed = GetParam();
   const GraphResult seq = run_random_graph(
-      seed, [](Specification& s) { SequentialScheduler(s).run(); });
+      seed, [](Specification& s) { make_executor(s)->run(); });
   ASSERT_FALSE(seq.sums.empty());
 
   for (Mapping mapping :
@@ -116,19 +116,17 @@ TEST_P(EquivalenceProperty, AllExecutorsAgreeOnRandomGraphs) {
         Mapping::ConnectionPerProcessor, Mapping::LayerPerProcessor}) {
     const GraphResult par =
         run_random_graph(seed, [mapping](Specification& s) {
-          ParallelSimScheduler::Config cfg;
-          cfg.processors = 4;
-          cfg.mapping = mapping;
-          ParallelSimScheduler(s, cfg).run();
+          make_executor(s, {.kind = ExecutorKind::ParallelSim,
+                            .processors = 4,
+                            .mapping = mapping})
+              ->run();
         });
     EXPECT_EQ(par, seq) << "mapping=" << mapping_name(mapping)
                         << " seed=" << seed;
   }
 
   const GraphResult thr = run_random_graph(seed, [](Specification& s) {
-    ThreadedScheduler::Config cfg;
-    cfg.threads = 4;
-    ThreadedScheduler(s, cfg).run();
+    make_executor(s, {.kind = ExecutorKind::Threaded, .threads = 4})->run();
   });
   EXPECT_EQ(thr, seq) << "threaded, seed=" << seed;
 }

@@ -8,7 +8,7 @@
 
 #include "asn1/value.hpp"
 #include "estelle/module.hpp"
-#include "estelle/sched.hpp"
+#include "estelle/executor.hpp"
 
 namespace mcam::estelle {
 namespace {
@@ -201,10 +201,8 @@ TEST(Scheduling, ParentPrecedenceBlocksChildren) {
 
   // While the parent has work (3 firings), children must not run; afterwards
   // the child proceeds.
-  SequentialScheduler::Config cfg;
-  cfg.max_steps = 4;  // parent exhausts after 3 rounds
-  SequentialScheduler sched(spec, cfg);
-  sched.run();
+  // parent exhausts after 3 rounds; 4-round budget for this run
+  make_executor(spec)->run({.stop = {StopCondition::max_steps(4)}});
   EXPECT_EQ(sys.count, 3);
   EXPECT_LE(child.count, 1);  // at most the round after the parent finished
 }
@@ -219,8 +217,8 @@ TEST(Scheduling, ProcessChildrenFireInParallelEachRound) {
         "c" + std::to_string(i), Attribute::Process, 5));
   spec.initialize();
 
-  SequentialScheduler sched(spec);
-  const SchedulerStats stats = sched.run();
+  const RunReport report = make_executor(spec)->run();
+  const SchedulerStats& stats = report.stats;
   for (Counter* c : children) EXPECT_EQ(c->count, 5);
   // All 4 children fire in every round ⇒ exactly 5 rounds, 20 firings.
   EXPECT_EQ(stats.fired, 20u);
@@ -235,8 +233,8 @@ TEST(Scheduling, ActivityChildrenAreMutuallyExclusive) {
   auto& a2 = sys.create_child<Counter>("a2", Attribute::Activity, 5);
   spec.initialize();
 
-  SequentialScheduler sched(spec);
-  const SchedulerStats stats = sched.run();
+  const RunReport report = make_executor(spec)->run();
+  const SchedulerStats& stats = report.stats;
   // One firing per round in the whole subtree ⇒ 10 rounds.
   EXPECT_EQ(a1.count + a2.count, 10);
   EXPECT_EQ(stats.rounds, 10u);
@@ -247,7 +245,7 @@ TEST(Scheduling, SystemModulesRunIndependently) {
   auto& s1 = spec.root().create_child<Counter>("s1", Attribute::SystemProcess, 3);
   auto& s2 = spec.root().create_child<Counter>("s2", Attribute::SystemProcess, 7);
   spec.initialize();
-  SequentialScheduler(spec).run();
+  make_executor(spec)->run();
   EXPECT_EQ(s1.count, 3);
   EXPECT_EQ(s2.count, 7);
 }
@@ -269,7 +267,7 @@ TEST(Scheduling, PrioritySelectsAmongFireable) {
   };
   auto& p = sys.create_child<Prio>("p");
   spec.initialize();
-  SequentialScheduler(spec).run();
+  make_executor(spec)->run();
   ASSERT_EQ(p.fired.size(), 1u);
   EXPECT_EQ(p.fired[0], "high");
 }
@@ -297,7 +295,7 @@ TEST(Scheduling, WhenClauseConsumesHeadOfQueue) {
   sender.ip("out").output(Interaction(7));
   sender.ip("out").output(Interaction(9));
   sender.ip("out").output(Interaction(7));
-  SequentialScheduler(spec).run();
+  make_executor(spec)->run();
   EXPECT_EQ(recv.got, (std::vector<int>{7, -9, 7}));
 }
 
@@ -317,8 +315,8 @@ TEST(Scheduling, DelayTransitionWaitsVirtualTime) {
   };
   auto& timer = spec.root().create_child<Timer>("timer");
   spec.initialize();
-  SequentialScheduler sched(spec);
-  const SchedulerStats stats = sched.run();
+  const RunReport report = make_executor(spec)->run();
+  const SchedulerStats& stats = report.stats;
   EXPECT_EQ(timer.ticks, 3);
   // Three ticks, 10ms apart ⇒ at least 30ms of virtual time.
   EXPECT_GE(stats.time, SimTime::from_ms(30));
@@ -349,7 +347,7 @@ TEST(Scheduling, DynamicChildCreationOnConnect) {
 
   driver.ip("out").output(Interaction(1));
   driver.ip("out").output(Interaction(1));
-  SequentialScheduler(spec).run();
+  make_executor(spec)->run();
   EXPECT_EQ(listener.children().size(), 2u);
   EXPECT_EQ(listener.subtree_size(), 3u);
 }
@@ -384,7 +382,7 @@ TEST(Dispatch, LinearAndTableSelectSameTransition) {
     auto& m = sys.create_child<Multi>("m");
     m.set_dispatch(kind);
     spec.initialize();
-    SequentialScheduler(spec).run();
+    make_executor(spec)->run();
     EXPECT_EQ(m.fired, 16);
     // Walks 0,1,2,...,7,0,1,... in order regardless of dispatch strategy.
     for (std::size_t i = 0; i < m.visits.size(); ++i)
@@ -471,16 +469,13 @@ std::pair<std::vector<int>, std::int64_t> run_pingpong(RunFn&& run) {
 
 TEST(SchedulerEquivalence, SequentialVsParallelSimVsThreaded) {
   auto seq = run_pingpong(
-      [](Specification& s) { SequentialScheduler(s).run(); });
+      [](Specification& s) { make_executor(s)->run(); });
   auto par = run_pingpong([](Specification& s) {
-    ParallelSimScheduler::Config cfg;
-    cfg.processors = 4;
-    ParallelSimScheduler(s, cfg).run();
+    make_executor(s, {.kind = ExecutorKind::ParallelSim, .processors = 4})
+        ->run();
   });
   auto thr = run_pingpong([](Specification& s) {
-    ThreadedScheduler::Config cfg;
-    cfg.threads = 4;
-    ThreadedScheduler(s, cfg).run();
+    make_executor(s, {.kind = ExecutorKind::Threaded, .threads = 4})->run();
   });
   EXPECT_EQ(seq.second, 55);  // 1+2+...+10
   EXPECT_EQ(seq, par);
@@ -499,11 +494,11 @@ TEST(ParallelSpeedup, MoreProcessorsNeverSlower) {
       sys.create_child<Counter>("c" + std::to_string(i), Attribute::Process,
                                 50, SimTime::from_us(200));
     spec.initialize();
-    ParallelSimScheduler::Config cfg;
-    cfg.processors = processors;
-    cfg.mapping = Mapping::GroupedUnits;
-    ParallelSimScheduler sched(spec, cfg);
-    return sched.run().time;
+    return make_executor(spec, {.kind = ExecutorKind::ParallelSim,
+                                .processors = processors,
+                                .mapping = Mapping::GroupedUnits})
+        ->run()
+        .time;
   };
   const auto t1 = run_world(1);
   const auto t2 = run_world(2);

@@ -1,0 +1,272 @@
+// Executor conformance: the paper's interchangeability claim as a test.
+//
+// One specification, all registered ExecutorKinds constructed through the
+// factory. Every backend must produce the identical firing trace on a
+// deterministic workload, and every RunReport must satisfy the same
+// invariants: fired counts consistent with observed events, monotone
+// virtual time, correct stop reasons, quiescence idempotence.
+//
+// The identical-trace contract is stated for well-formed specifications
+// (conflict-free firing sets — members of one round don't disable each
+// other). The threaded backend does not revalidate within a round, so
+// ill-formed specs may diverge there; see ROADMAP "Open items".
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "estelle/executor.hpp"
+#include "estelle/module.hpp"
+#include "estelle/trace.hpp"
+
+namespace mcam::estelle {
+namespace {
+
+using common::SimTime;
+
+/// One station of a token ring. Exactly one station holds the token at any
+/// time, so every round has exactly one firing candidate — the firing order
+/// is fully determined and must be identical under every backend.
+class Station : public Module {
+ public:
+  Station(std::string name, int hops_budget)
+      : Module(std::move(name), Attribute::Process) {
+    auto& in = ip("in");
+    ip("out");
+    trans("hop_" + this->name())
+        .when(in)
+        .cost(SimTime::from_us(7))
+        .provided([this, hops_budget](Module&, const Interaction*) {
+          return hops_ < hops_budget;
+        })
+        .action([this](Module&, const Interaction* m) {
+          ++hops_;
+          ip("out").output(Interaction(m->kind + 1));
+        });
+    // Budget exhausted: swallow the token so the world goes quiescent.
+    trans("sink_" + this->name())
+        .when(in)
+        .priority(10)
+        .action([](Module&, const Interaction*) {});
+  }
+
+  [[nodiscard]] int hops() const noexcept { return hops_; }
+
+ private:
+  int hops_ = 0;
+};
+
+struct Ring {
+  Specification spec{"ring"};
+  std::vector<Station*> stations;
+
+  explicit Ring(int n, int hops_budget) {
+    auto& sys =
+        spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+    for (int i = 0; i < n; ++i)
+      stations.push_back(&sys.create_child<Station>(
+          "s" + std::to_string(i), hops_budget));
+    for (int i = 0; i < n; ++i)
+      connect(stations[static_cast<std::size_t>(i)]->ip("out"),
+              stations[static_cast<std::size_t>((i + 1) % n)]->ip("in"));
+    spec.initialize();
+    // Inject the token into s0's inbox through the ring link it arrives on.
+    stations.back()->ip("out").output(Interaction(1));
+  }
+};
+
+ExecutorConfig config_for(ExecutorKind kind) {
+  ExecutorConfig cfg;
+  cfg.kind = kind;
+  cfg.processors = 4;
+  cfg.threads = 4;
+  return cfg;
+}
+
+/// Observer asserting the virtual clock never runs backwards.
+class MonotoneClock : public RunObserver {
+ public:
+  void on_fire(const Module&, const Transition&, SimTime now) override {
+    EXPECT_GE(now, last_) << "fire event out of time order";
+    last_ = now;
+  }
+  void on_round_end(Executor& ex, std::uint64_t) override {
+    EXPECT_GE(ex.now(), last_) << "round ended before its fire events";
+    last_ = ex.now();
+  }
+
+ private:
+  SimTime last_{};
+};
+
+struct KindRun {
+  std::vector<std::string> trace;
+  RunReport report;
+};
+
+KindRun run_ring(ExecutorKind kind) {
+  Ring ring(5, /*hops_budget=*/8);
+  auto executor = make_executor(ring.spec, config_for(kind));
+  EXPECT_EQ(executor->kind(), kind);
+
+  TraceRecorder trace;
+  MonotoneClock clock;
+  KindRun out;
+  out.report = executor->run({.observers = {&trace, &clock}});
+  out.trace = trace.transition_names();
+
+  // RunReport invariants.
+  EXPECT_EQ(out.report.kind, kind);
+  EXPECT_EQ(out.report.reason, StopReason::Quiescent);
+  EXPECT_EQ(out.report.fired, out.trace.size());
+  EXPECT_EQ(out.report.stats.fired, out.report.fired);
+  EXPECT_EQ(out.report.time, executor->now());
+  EXPECT_GE(out.report.time.ns, 0);
+  EXPECT_GE(out.report.steps, out.trace.size());  // 1 candidate per round
+
+  // A quiescent world stays quiescent: an immediate second run fires
+  // nothing and leaves the cumulative counters untouched.
+  const RunReport again = executor->run();
+  EXPECT_EQ(again.reason, StopReason::Quiescent);
+  EXPECT_EQ(again.fired, 0u);
+  EXPECT_EQ(again.stats.fired, out.report.stats.fired);
+  EXPECT_GE(again.time, out.report.time);
+  return out;
+}
+
+TEST(ExecutorConformance, AllKindsProduceIdenticalFiringTraces) {
+  const KindRun seq = run_ring(ExecutorKind::Sequential);
+  ASSERT_FALSE(seq.trace.empty());
+  // 5 stations x 8-hop budget each, one token: it hops until the station it
+  // lands on is exhausted, then is sunk. The exact count matters less than
+  // every backend agreeing on it — but pin it so regressions are loud.
+  EXPECT_EQ(seq.trace.size(), 41u);  // 40 hops + 1 sink
+
+  for (ExecutorKind kind : kAllExecutorKinds) {
+    if (kind == ExecutorKind::Sequential) continue;  // the baseline above
+    const KindRun other = run_ring(kind);
+    EXPECT_EQ(other.trace, seq.trace)
+        << "backend " << executor_kind_name(kind)
+        << " diverged from sequential";
+    EXPECT_EQ(other.report.fired, seq.report.fired);
+  }
+}
+
+TEST(ExecutorConformance, FactoryKnowsAllKindsAndNamesRoundTrip) {
+  auto& factory = ExecutorFactory::instance();
+  for (ExecutorKind kind : kAllExecutorKinds) {
+    EXPECT_TRUE(factory.known(kind));
+    ExecutorKind parsed{};
+    ASSERT_TRUE(executor_kind_from_name(executor_kind_name(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  EXPECT_FALSE(executor_kind_from_name("no-such-backend", nullptr));
+}
+
+TEST(ExecutorConformance, StopConditionsReportTheirReason) {
+  for (ExecutorKind kind : kAllExecutorKinds) {
+    SCOPED_TRACE(executor_kind_name(kind));
+    // A world that never quiesces on its own.
+    Specification spec("runaway");
+    auto& sys =
+        spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+    auto& w = sys.create_child<Module>("w", Attribute::Process);
+    int count = 0;
+    w.trans("forever")
+        .cost(SimTime::from_us(50))
+        .action([&count](Module&, const Interaction*) { ++count; });
+    spec.initialize();
+    auto executor = make_executor(spec, config_for(kind));
+
+    RunReport r = executor->run({.stop = {StopCondition::max_steps(10)}});
+    EXPECT_EQ(r.reason, StopReason::StepLimit);
+    EXPECT_EQ(r.steps, 10u);
+
+    r = executor->run({.stop = {StopCondition::when(
+        [&] { return count >= 15; })}});
+    EXPECT_EQ(r.reason, StopReason::PredicateSatisfied);
+    EXPECT_GE(count, 15);
+
+    const SimTime deadline = executor->now() + SimTime::from_us(200);
+    r = executor->run({.stop = {StopCondition::deadline(deadline)}});
+    EXPECT_EQ(r.reason, StopReason::DeadlineReached);
+    EXPECT_GE(executor->now(), deadline);
+
+    // The config backstop caps a run with no explicit conditions.
+    ExecutorConfig capped = config_for(kind);
+    capped.max_steps = 3;
+    Specification spec2("runaway2");
+    auto& sys2 =
+        spec2.root().create_child<Module>("sys", Attribute::SystemProcess);
+    sys2.create_child<Module>("w", Attribute::Process)
+        .trans("forever")
+        .action([](Module&, const Interaction*) {});
+    spec2.initialize();
+    EXPECT_EQ(make_executor(spec2, capped)->run().reason,
+              StopReason::StepLimit);
+  }
+}
+
+TEST(ExecutorConformance, IdleClockJumpDoesNotOvershootDeadline) {
+  for (ExecutorKind kind : kAllExecutorKinds) {
+    SCOPED_TRACE(executor_kind_name(kind));
+    // The only pending work is a delay transition waking at 10ms; a 1ms
+    // deadline must stop the clock at 1ms, not at the 10ms wakeup.
+    Specification spec("idle");
+    auto& sys =
+        spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+    sys.create_child<Module>("sleeper", Attribute::Process)
+        .trans("late")
+        .delay(SimTime::from_ms(10))
+        .action([](Module&, const Interaction*) {});
+    spec.initialize();
+
+    auto executor = make_executor(spec, config_for(kind));
+    const RunReport r = executor->run(
+        {.stop = {StopCondition::deadline(SimTime::from_ms(1))}});
+    EXPECT_EQ(r.reason, StopReason::DeadlineReached);
+    EXPECT_EQ(executor->now(), SimTime::from_ms(1));
+  }
+}
+
+TEST(ExecutorConformance, ObserverChainNotifiedInOrderWithLifecycle) {
+  struct Logger : RunObserver {
+    explicit Logger(std::vector<std::string>& log, std::string tag)
+        : log_(log), tag_(std::move(tag)) {}
+    void on_run_begin(Executor&) override { log_.push_back(tag_ + ":begin"); }
+    void on_fire(const Module&, const Transition& t, SimTime) override {
+      log_.push_back(tag_ + ":" + t.name);
+    }
+    void on_run_end(Executor&, const RunReport& r) override {
+      log_.push_back(tag_ + ":end:" + stop_reason_name(r.reason));
+    }
+    std::vector<std::string>& log_;
+    std::string tag_;
+  };
+
+  Ring ring(3, /*hops_budget=*/1);
+  auto executor = make_executor(ring.spec);
+  std::vector<std::string> log;
+  Logger a(log, "a"), b(log, "b");
+  executor->run({.observers = {&a, &b}});
+
+  ASSERT_GE(log.size(), 6u);
+  EXPECT_EQ(log[0], "a:begin");
+  EXPECT_EQ(log[1], "b:begin");
+  EXPECT_EQ(log[2], "a:hop_s0");
+  EXPECT_EQ(log[3], "b:hop_s0");
+  EXPECT_EQ(log.back(), "b:end:quiescent");
+}
+
+TEST(ExecutorConformance, LegacyGlobalTraceShimStillObserves) {
+  for (ExecutorKind kind : kAllExecutorKinds) {
+    SCOPED_TRACE(executor_kind_name(kind));
+    Ring ring(4, /*hops_budget=*/2);
+    ScopedTrace scoped;  // deprecated install() path, no RunOptions observer
+    make_executor(ring.spec, config_for(kind))->run();
+    EXPECT_FALSE(scoped.recorder().events().empty());
+  }
+}
+
+}  // namespace
+}  // namespace mcam::estelle

@@ -34,7 +34,7 @@ TEST(FailureInjection, TransportDisconnectAbortsAssociation) {
   // closes the connection / network manager kills it).
   bed.connection(0).client_stack.transport->upper().deliver(
       Interaction(osi::kTDisReq));
-  bed.scheduler().run();
+  bed.executor().run();
 
   // The abort cascaded: server released the association.
   EXPECT_EQ(bed.server().active_sessions(), 0u);
@@ -74,7 +74,7 @@ TEST(FailureInjection, ServerAbortReleasesStreams) {
 
   bed.connection(0).client_stack.transport->upper().deliver(
       Interaction(osi::kTDisReq));
-  bed.scheduler().run();
+  bed.executor().run();
 
   // Association teardown stopped the CM stream too (no orphan senders).
   EXPECT_EQ(bed.server().spa().active_streams(), 0u);
@@ -89,7 +89,7 @@ TEST(FailureInjection, MalformedPduFromAppYieldsProtocolError) {
   auto& app = *bed.connection(0).app;
   app.mca().output(Interaction(static_cast<int>(Op::AttrQueryReq),
                                common::to_bytes("not ber at all")));
-  bed.scheduler().run_until([&] { return app.mca().has_input(); });
+  bed.executor().run_until([&] { return app.mca().has_input(); });
   ASSERT_TRUE(app.mca().has_input());
   auto response = decode(app.mca().pop().payload);
   ASSERT_TRUE(response.ok());
@@ -164,7 +164,7 @@ TEST(FailureInjection, IsodeStackAbortPath) {
   ASSERT_TRUE(client.associate("alice").ok());
   // Abort at the ISODE library level.
   bed.connection(0).client_iface->entity().p_abort_request();
-  bed.scheduler().run();
+  bed.executor().run();
   EXPECT_EQ(bed.server().active_sessions(), 0u);
 }
 

@@ -3,7 +3,7 @@
 // state transitions and PDU emissions can be asserted one hop at a time.
 #include <gtest/gtest.h>
 
-#include "estelle/sched.hpp"
+#include "estelle/executor.hpp"
 #include "osi/presentation.hpp"
 #include "osi/session.hpp"
 
@@ -15,7 +15,7 @@ using estelle::Attribute;
 using estelle::Interaction;
 using estelle::InteractionPoint;
 using estelle::Module;
-using estelle::SequentialScheduler;
+using estelle::make_executor;
 using estelle::Specification;
 
 /// One session entity with a user module above and a "wire probe" module
@@ -43,9 +43,9 @@ struct SessionRig {
 
 TEST(SessionLayer, InitiatorEmitsTConThenCn) {
   SessionRig rig;
-  SequentialScheduler sched(rig.spec);
+  auto sched = make_executor(rig.spec);
   rig.up().output(Interaction(kSConReq, common::to_bytes("cp-bytes")));
-  sched.run();
+  sched->run();
 
   // First the transport connect request...
   ASSERT_TRUE(rig.down().has_input());
@@ -54,7 +54,7 @@ TEST(SessionLayer, InitiatorEmitsTConThenCn) {
 
   // ...then, after T-CONNECT confirm, the CN SPDU carrying the user data.
   rig.down().output(Interaction(kTConConf));
-  sched.run();
+  sched->run();
   ASSERT_TRUE(rig.down().has_input());
   Interaction cn = rig.down().pop();
   EXPECT_EQ(cn.kind, kTDatReq);
@@ -66,10 +66,10 @@ TEST(SessionLayer, InitiatorEmitsTConThenCn) {
 
 TEST(SessionLayer, ResponderIndicatesAndAccepts) {
   SessionRig rig;
-  SequentialScheduler sched(rig.spec);
+  auto sched = make_executor(rig.spec);
   rig.down().output(
       Interaction(kTDatInd, build_spdu(Spdu::CN, common::to_bytes("x"))));
-  sched.run();
+  sched->run();
   ASSERT_TRUE(rig.up().has_input());
   Interaction ind = rig.up().pop();
   EXPECT_EQ(ind.kind, kSConInd);
@@ -78,7 +78,7 @@ TEST(SessionLayer, ResponderIndicatesAndAccepts) {
 
   rig.up().output(Interaction(kSConResp, asn1::Value::boolean(true),
                               common::to_bytes("y")));
-  sched.run();
+  sched->run();
   ASSERT_TRUE(rig.down().has_input());
   const SpduView ac = parse_spdu(rig.down().pop().payload);
   EXPECT_EQ(ac.type, Spdu::AC);
@@ -88,13 +88,13 @@ TEST(SessionLayer, ResponderIndicatesAndAccepts) {
 
 TEST(SessionLayer, ResponderRefusesWithRf) {
   SessionRig rig;
-  SequentialScheduler sched(rig.spec);
+  auto sched = make_executor(rig.spec);
   rig.down().output(Interaction(kTDatInd, build_spdu(Spdu::CN, {})));
-  sched.run();
+  sched->run();
   (void)rig.up().pop();
   rig.up().output(Interaction(kSConResp, asn1::Value::boolean(false),
                               common::to_bytes("no")));
-  sched.run();
+  sched->run();
   ASSERT_TRUE(rig.down().has_input());
   EXPECT_EQ(parse_spdu(rig.down().pop().payload).type, Spdu::RF);
   EXPECT_EQ(rig.session->state(), SessionModule::kIdle);
@@ -102,19 +102,19 @@ TEST(SessionLayer, ResponderRefusesWithRf) {
 
 TEST(SessionLayer, AbortFromEitherSide) {
   SessionRig rig;
-  SequentialScheduler sched(rig.spec);
+  auto sched = make_executor(rig.spec);
   // Bring it to open via the responder path.
   rig.down().output(Interaction(kTDatInd, build_spdu(Spdu::CN, {})));
-  sched.run();
+  sched->run();
   (void)rig.up().pop();
   rig.up().output(Interaction(kSConResp, asn1::Value::boolean(true)));
-  sched.run();
+  sched->run();
   (void)rig.down().pop();  // AC
   ASSERT_EQ(rig.session->state(), SessionModule::kOpen);
 
   // Peer abort (AB SPDU) surfaces as S-ABORT indication.
   rig.down().output(Interaction(kTDatInd, build_spdu(Spdu::AB, {})));
-  sched.run();
+  sched->run();
   ASSERT_TRUE(rig.up().has_input());
   EXPECT_EQ(rig.up().pop().kind, kSAbortInd);
   EXPECT_EQ(rig.session->state(), SessionModule::kIdle);
@@ -122,16 +122,16 @@ TEST(SessionLayer, AbortFromEitherSide) {
 
 TEST(SessionLayer, TransportFailureAbortsOpenSession) {
   SessionRig rig;
-  SequentialScheduler sched(rig.spec);
+  auto sched = make_executor(rig.spec);
   rig.down().output(Interaction(kTDatInd, build_spdu(Spdu::CN, {})));
-  sched.run();
+  sched->run();
   (void)rig.up().pop();
   rig.up().output(Interaction(kSConResp, asn1::Value::boolean(true)));
-  sched.run();
+  sched->run();
   (void)rig.down().pop();
 
   rig.down().output(Interaction(kTDisInd));
-  sched.run();
+  sched->run();
   ASSERT_TRUE(rig.up().has_input());
   EXPECT_EQ(rig.up().pop().kind, kSAbortInd);
   EXPECT_EQ(rig.session->state(), SessionModule::kIdle);
@@ -162,9 +162,9 @@ struct PresRig {
 
 TEST(PresentationLayer, ConnectCarriesCpWithContextList) {
   PresRig rig;
-  SequentialScheduler sched(rig.spec);
+  auto sched = make_executor(rig.spec);
   rig.up().output(Interaction(kPConReq, common::to_bytes("user-data")));
-  sched.run();
+  sched->run();
   ASSERT_TRUE(rig.down().has_input());
   Interaction out = rig.down().pop();
   EXPECT_EQ(out.kind, kSConReq);
@@ -179,13 +179,13 @@ TEST(PresentationLayer, ConnectCarriesCpWithContextList) {
 
 TEST(PresentationLayer, CpaCompletesNegotiation) {
   PresRig rig;
-  SequentialScheduler sched(rig.spec);
+  auto sched = make_executor(rig.spec);
   rig.up().output(Interaction(kPConReq, Bytes{}));
-  sched.run();
+  sched->run();
   (void)rig.down().pop();
   rig.down().output(
       Interaction(kSConConf, build_cpa(1, common::to_bytes("welcome"))));
-  sched.run();
+  sched->run();
   ASSERT_TRUE(rig.up().has_input());
   Interaction conf = rig.up().pop();
   EXPECT_EQ(conf.kind, kPConConf);
@@ -196,13 +196,13 @@ TEST(PresentationLayer, CpaCompletesNegotiation) {
 
 TEST(PresentationLayer, CprMeansRefusal) {
   PresRig rig;
-  SequentialScheduler sched(rig.spec);
+  auto sched = make_executor(rig.spec);
   rig.up().output(Interaction(kPConReq, Bytes{}));
-  sched.run();
+  sched->run();
   (void)rig.down().pop();
   rig.down().output(
       Interaction(kSConConf, build_cpr(2, common::to_bytes("denied"))));
-  sched.run();
+  sched->run();
   ASSERT_TRUE(rig.up().has_input());
   Interaction refused = rig.up().pop();
   EXPECT_EQ(refused.kind, kPConRefuse);
@@ -212,18 +212,18 @@ TEST(PresentationLayer, CprMeansRefusal) {
 
 TEST(PresentationLayer, DataWrappedInTd) {
   PresRig rig;
-  SequentialScheduler sched(rig.spec);
+  auto sched = make_executor(rig.spec);
   // Open via responder path.
   rig.down().output(Interaction(kSConInd, build_cp(1, {})));
-  sched.run();
+  sched->run();
   (void)rig.up().pop();
   rig.up().output(Interaction(kPConResp, asn1::Value::boolean(true)));
-  sched.run();
+  sched->run();
   (void)rig.down().pop();  // CPA
   ASSERT_EQ(rig.pres->state(), PresentationModule::kOpen);
 
   rig.up().output(Interaction(kPDatReq, common::to_bytes("mcam-pdu")));
-  sched.run();
+  sched->run();
   ASSERT_TRUE(rig.down().has_input());
   auto td = parse_ppdu(rig.down().pop().payload);
   ASSERT_TRUE(td.ok());
@@ -232,22 +232,22 @@ TEST(PresentationLayer, DataWrappedInTd) {
 
   // Non-TD garbage on the session service is ignored, not crashed on.
   rig.down().output(Interaction(kSDatInd, common::to_bytes("junk")));
-  sched.run();
+  sched->run();
   EXPECT_FALSE(rig.up().has_input());
 }
 
 TEST(PresentationLayer, UserAbortCascadesDown) {
   PresRig rig;
-  SequentialScheduler sched(rig.spec);
+  auto sched = make_executor(rig.spec);
   rig.down().output(Interaction(kSConInd, build_cp(1, {})));
-  sched.run();
+  sched->run();
   (void)rig.up().pop();
   rig.up().output(Interaction(kPConResp, asn1::Value::boolean(true)));
-  sched.run();
+  sched->run();
   (void)rig.down().pop();
 
   rig.up().output(Interaction(kPAbortReq));
-  sched.run();
+  sched->run();
   ASSERT_TRUE(rig.down().has_input());
   EXPECT_EQ(rig.down().pop().kind, kSAbortReq);
   EXPECT_EQ(rig.pres->state(), PresentationModule::kIdle);

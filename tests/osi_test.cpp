@@ -3,7 +3,7 @@
 // and the hand-coded ISODE comparator.
 #include <gtest/gtest.h>
 
-#include "estelle/sched.hpp"
+#include "estelle/executor.hpp"
 #include "osi/isode.hpp"
 #include "osi/presentation.hpp"
 #include "osi/session.hpp"
@@ -19,7 +19,7 @@ using estelle::Attribute;
 using estelle::Interaction;
 using estelle::InteractionPoint;
 using estelle::Module;
-using estelle::SequentialScheduler;
+using estelle::make_executor;
 using estelle::Specification;
 
 // ---------------------------------------------------------------------------
@@ -104,14 +104,14 @@ struct TransportWorld {
 TEST(Transport, ConnectAndTransfer) {
   TransportWorld w;
   w.user_a().output(Interaction(kTConReq));
-  SequentialScheduler sched(w.spec);
-  sched.run_until([&] { return w.user_a().has_input(); });
+  auto sched = make_executor(w.spec);
+  sched->run_until([&] { return w.user_a().has_input(); });
   ASSERT_TRUE(w.user_a().has_input());
   EXPECT_EQ(w.user_a().pop().kind, kTConConf);
 
   w.user_a().output(Interaction(kTDatReq, common::to_bytes("one")));
   w.user_a().output(Interaction(kTDatReq, common::to_bytes("two")));
-  sched.run();
+  sched->run();
   ASSERT_EQ(w.user_b().queue_length(), 2u);
   EXPECT_EQ(w.user_b().pop().payload, common::to_bytes("one"));
   EXPECT_EQ(w.user_b().pop().payload, common::to_bytes("two"));
@@ -131,10 +131,8 @@ TEST_P(TransportLossTest, ArqDelivers100PercentInOrder) {
   for (std::size_t i = 0; i < kMessages; ++i)
     w.user_a().output(Interaction(kTDatReq, {static_cast<std::uint8_t>(i)}));
 
-  SequentialScheduler::Config scfg;
-  scfg.max_steps = 200000;
-  SequentialScheduler sched(w.spec, scfg);
-  sched.run_until([&] { return w.user_b().queue_length() >= kMessages; });
+  auto sched = make_executor(w.spec, {.max_steps = 200000});
+  sched->run_until([&] { return w.user_b().queue_length() >= kMessages; });
 
   // Table 1 control-path property: 100% reliable, in order, despite loss.
   ASSERT_EQ(w.user_b().queue_length(), kMessages);
@@ -153,13 +151,13 @@ TEST(Transport, WindowLimitsOutstandingData) {
   cfg.window = 4;
   TransportWorld w(cfg);
   w.user_a().output(Interaction(kTConReq));
-  SequentialScheduler sched(w.spec);
-  sched.run_until([&] { return w.user_a().has_input(); });
+  auto sched = make_executor(w.spec);
+  sched->run_until([&] { return w.user_a().has_input(); });
   (void)w.user_a().pop();
 
   for (int i = 0; i < 12; ++i)
     w.user_a().output(Interaction(kTDatReq, {static_cast<std::uint8_t>(i)}));
-  sched.run();
+  sched->run();
   ASSERT_EQ(w.user_b().queue_length(), 12u);
   for (int i = 0; i < 12; ++i) EXPECT_EQ(w.user_b().pop().payload[0], i);
 }
@@ -167,11 +165,11 @@ TEST(Transport, WindowLimitsOutstandingData) {
 TEST(Transport, Disconnect) {
   TransportWorld w;
   w.user_a().output(Interaction(kTConReq));
-  SequentialScheduler sched(w.spec);
-  sched.run_until([&] { return w.user_a().has_input(); });
+  auto sched = make_executor(w.spec);
+  sched->run_until([&] { return w.user_a().has_input(); });
   (void)w.user_a().pop();
   w.user_a().output(Interaction(kTDisReq));
-  sched.run();
+  sched->run();
   ASSERT_TRUE(w.user_b().has_input());
   EXPECT_EQ(w.user_b().pop().kind, kTDisInd);
 }
@@ -207,7 +205,7 @@ struct StackWorld {
   InteractionPoint& user_s() { return su->ip("svc"); }
 
   /// Drive a full P-CONNECT handshake (server responds with `accept`).
-  void connect_stacks(SequentialScheduler& sched, bool accept = true) {
+  void connect_stacks(estelle::Executor& sched, bool accept = true) {
     user_c().output(Interaction(kPConReq, common::to_bytes("hello")));
     sched.run_until([&] { return user_s().has_input(); });
     ASSERT_TRUE(user_s().has_input());
@@ -222,8 +220,8 @@ struct StackWorld {
 
 TEST(FullStack, ConnectDataRelease) {
   StackWorld w;
-  SequentialScheduler sched(w.spec);
-  w.connect_stacks(sched);
+  auto sched = make_executor(w.spec);
+  w.connect_stacks(*sched);
 
   ASSERT_TRUE(w.user_c().has_input());
   Interaction conf = w.user_c().pop();
@@ -234,23 +232,23 @@ TEST(FullStack, ConnectDataRelease) {
 
   // Data both ways.
   w.user_c().output(Interaction(kPDatReq, common::to_bytes("ping")));
-  sched.run_until([&] { return w.user_s().has_input(); });
+  sched->run_until([&] { return w.user_s().has_input(); });
   Interaction ping = w.user_s().pop();
   EXPECT_EQ(ping.kind, kPDatInd);
   EXPECT_EQ(ping.payload, common::to_bytes("ping"));
 
   w.user_s().output(Interaction(kPDatReq, common::to_bytes("pong")));
-  sched.run_until([&] { return w.user_c().has_input(); });
+  sched->run_until([&] { return w.user_c().has_input(); });
   Interaction pong = w.user_c().pop();
   EXPECT_EQ(pong.kind, kPDatInd);
   EXPECT_EQ(pong.payload, common::to_bytes("pong"));
 
   // Orderly release initiated by the client.
   w.user_c().output(Interaction(kPRelReq));
-  sched.run_until([&] { return w.user_s().has_input(); });
+  sched->run_until([&] { return w.user_s().has_input(); });
   EXPECT_EQ(w.user_s().pop().kind, kPRelInd);
   w.user_s().output(Interaction(kPRelResp));
-  sched.run_until([&] { return w.user_c().has_input(); });
+  sched->run_until([&] { return w.user_c().has_input(); });
   EXPECT_EQ(w.user_c().pop().kind, kPRelConf);
   EXPECT_EQ(w.client.presentation->state(), PresentationModule::kIdle);
   EXPECT_EQ(w.server.session->state(), SessionModule::kIdle);
@@ -258,8 +256,8 @@ TEST(FullStack, ConnectDataRelease) {
 
 TEST(FullStack, ConnectionRefusedPropagates) {
   StackWorld w;
-  SequentialScheduler sched(w.spec);
-  w.connect_stacks(sched, /*accept=*/false);
+  auto sched = make_executor(w.spec);
+  w.connect_stacks(*sched, /*accept=*/false);
   ASSERT_TRUE(w.user_c().has_input());
   Interaction refused = w.user_c().pop();
   EXPECT_EQ(refused.kind, kPConRefuse);
@@ -269,17 +267,15 @@ TEST(FullStack, ConnectionRefusedPropagates) {
 TEST(FullStack, SurvivesTransportLoss) {
   common::Rng rng(23);
   StackWorld w(0.2, &rng);
-  SequentialScheduler::Config scfg;
-  scfg.max_steps = 500000;
-  SequentialScheduler sched(w.spec, scfg);
-  w.connect_stacks(sched);
+  auto sched = make_executor(w.spec, {.max_steps = 500000});
+  w.connect_stacks(*sched);
   ASSERT_TRUE(w.user_c().has_input());
   EXPECT_EQ(w.user_c().pop().kind, kPConConf);
 
   const std::size_t kMessages = 20;
   for (std::size_t i = 0; i < kMessages; ++i)
     w.user_c().output(Interaction(kPDatReq, {static_cast<std::uint8_t>(i)}));
-  sched.run_until([&] { return w.user_s().queue_length() >= kMessages; });
+  sched->run_until([&] { return w.user_s().queue_length() >= kMessages; });
   ASSERT_EQ(w.user_s().queue_length(), kMessages);
   for (std::size_t i = 0; i < kMessages; ++i) {
     Interaction msg = w.user_s().pop();
@@ -351,19 +347,19 @@ TEST(Isode, InterfaceModuleBridgesBothWays) {
   isode::link(ci.entity(), si.entity());
   spec.initialize();
 
-  SequentialScheduler sched(spec);
+  auto sched = make_executor(spec);
   cu.ip("svc").output(Interaction(kPConReq, common::to_bytes("cp")));
-  sched.run_until([&] { return su.ip("svc").has_input(); });
+  sched->run_until([&] { return su.ip("svc").has_input(); });
   ASSERT_TRUE(su.ip("svc").has_input());
   EXPECT_EQ(su.ip("svc").pop().kind, kPConInd);
   su.ip("svc").output(Interaction(kPConResp, asn1::Value::boolean(true),
                                   common::to_bytes("cpa")));
-  sched.run_until([&] { return cu.ip("svc").has_input(); });
+  sched->run_until([&] { return cu.ip("svc").has_input(); });
   ASSERT_TRUE(cu.ip("svc").has_input());
   EXPECT_EQ(cu.ip("svc").pop().kind, kPConConf);
 
   cu.ip("svc").output(Interaction(kPDatReq, common::to_bytes("x")));
-  sched.run_until([&] { return su.ip("svc").has_input(); });
+  sched->run_until([&] { return su.ip("svc").has_input(); });
   Interaction msg = su.ip("svc").pop();
   EXPECT_EQ(msg.kind, kPDatInd);
   EXPECT_EQ(msg.payload, common::to_bytes("x"));

@@ -5,7 +5,7 @@
 
 #include "asn1/value.hpp"
 #include "estelle/module.hpp"
-#include "estelle/sched.hpp"
+#include "estelle/executor.hpp"
 #include "estelle/trace.hpp"
 
 namespace mcam::estelle {
@@ -67,17 +67,14 @@ TEST(SchedStress, LongChainAllSchedulersAgree) {
   const int kCells = 32;
   const int kTokens = 20;
   const auto seq = run_chain(kCells, kTokens, [](Specification& s) {
-    SequentialScheduler(s).run();
+    make_executor(s)->run();
   });
   const auto par = run_chain(kCells, kTokens, [](Specification& s) {
-    ParallelSimScheduler::Config cfg;
-    cfg.processors = 8;
-    ParallelSimScheduler(s, cfg).run();
+    make_executor(s, {.kind = ExecutorKind::ParallelSim, .processors = 8})
+        ->run();
   });
   const auto thr = run_chain(kCells, kTokens, [](Specification& s) {
-    ThreadedScheduler::Config cfg;
-    cfg.threads = 8;
-    ThreadedScheduler(s, cfg).run();
+    make_executor(s, {.kind = ExecutorKind::Threaded, .threads = 8})->run();
   });
   EXPECT_EQ(seq.first, kCells - 1);  // token incremented at every hop
   EXPECT_EQ(seq.second, kCells * kTokens);
@@ -101,11 +98,11 @@ TEST(SchedStress, ParallelSimDeterministicAcrossRuns) {
     spec.initialize();
     for (int t = 0; t < 7; ++t)
       driver.ip("out").output(Interaction(1, asn1::Value::integer(0)));
-    ParallelSimScheduler::Config cfg;
-    cfg.processors = 3;
-    cfg.mapping = Mapping::GroupedUnits;
-    ParallelSimScheduler sched(spec, cfg);
-    return sched.run().time.ns;
+    return make_executor(spec, {.kind = ExecutorKind::ParallelSim,
+                                .processors = 3,
+                                .mapping = Mapping::GroupedUnits})
+        ->run()
+        .time.ns;
   };
   EXPECT_EQ(once(), once());
 }
@@ -126,13 +123,12 @@ TEST(SchedStress, UniprocessorHostCollapsesUnits) {
   spec.initialize();
   driver.ip("out").output(Interaction(1, asn1::Value::integer(0)));
 
-  ParallelSimScheduler::Config cfg;
-  cfg.processors = 8;
-  cfg.mapping = Mapping::ThreadPerModule;
-  ParallelSimScheduler sched(spec, cfg);
-  sched.run();
+  auto sched = make_executor(spec, {.kind = ExecutorKind::ParallelSim,
+                                    .processors = 8,
+                                    .mapping = Mapping::ThreadPerModule});
+  sched->run();
   // Despite thread-per-module mapping, everything collapsed to one unit.
-  EXPECT_EQ(sched.unit_count(), 1);
+  EXPECT_EQ(sched->unit_count(), 1);
 }
 
 TEST(SchedStress, UniprocessorHostIsSlowerThanMultiprocessor) {
@@ -155,10 +151,10 @@ TEST(SchedStress, UniprocessorHostIsSlowerThanMultiprocessor) {
           });
     }
     spec.initialize();
-    ParallelSimScheduler::Config cfg;
-    cfg.processors = 4;
-    ParallelSimScheduler sched(spec, cfg);
-    return sched.run().time;
+    return make_executor(spec,
+                         {.kind = ExecutorKind::ParallelSim, .processors = 4})
+        ->run()
+        .time;
   };
   EXPECT_GT(run_with(true).ns, run_with(false).ns);
 }
@@ -190,10 +186,7 @@ TEST(SchedStress, DynamicReleaseDuringRun) {
   Specification spec("dyn");
   auto& sup = spec.root().create_child<Supervisor>("sup");
   spec.initialize();
-  SequentialScheduler::Config cfg;
-  cfg.max_steps = 2000;
-  SequentialScheduler sched(spec, cfg);
-  sched.run();
+  make_executor(spec, {.max_steps = 2000})->run();
   EXPECT_EQ(sup.children().size(), 0u);
   EXPECT_EQ(sup.state(), 2);
 }
@@ -259,8 +252,7 @@ TEST(SchedStress, RunUntilStopsPromptly) {
   w.trans("tick").action(
       [&count](Module&, const Interaction*) { ++count; });
   spec.initialize();
-  SequentialScheduler sched(spec);
-  sched.run_until([&] { return count >= 5; });
+  make_executor(spec)->run_until([&] { return count >= 5; });
   EXPECT_GE(count, 5);
   EXPECT_LE(count, 6);  // at most one extra round
 }
@@ -271,11 +263,9 @@ TEST(SchedStress, MaxStepsBoundsRunawaySpecs) {
   auto& w = sys.create_child<Module>("w", Attribute::Process);
   w.trans("forever").action([](Module&, const Interaction*) {});
   spec.initialize();
-  SequentialScheduler::Config cfg;
-  cfg.max_steps = 100;
-  SequentialScheduler sched(spec, cfg);
-  const SchedulerStats stats = sched.run();
-  EXPECT_LE(stats.rounds, 101u);
+  const RunReport report = make_executor(spec, {.max_steps = 100})->run();
+  EXPECT_EQ(report.reason, StopReason::StepLimit);
+  EXPECT_LE(report.stats.rounds, 101u);
 }
 
 }  // namespace
@@ -299,7 +289,7 @@ TEST(Tracing, RecordsFiredTransitionsInOrder) {
   b.trans("pong").when(b.ip("in"), 1).action(
       [](Module&, const Interaction*) {});
   spec.initialize();
-  SequentialScheduler(spec).run();
+  make_executor(spec)->run();
 
   const auto names = trace.recorder().transition_names();
   ASSERT_EQ(names.size(), 2u);
@@ -323,7 +313,7 @@ TEST(Tracing, DeterministicGoldenTrace) {
           .to(i + 1)
           .action([](Module&, const Interaction*) {});
     spec.initialize();
-    SequentialScheduler(spec).run();
+    make_executor(spec)->run();
     return trace.recorder().to_string();
   };
   const std::string golden = run_traced();
@@ -340,7 +330,7 @@ TEST(Tracing, NoRecorderMeansNoOverheadPath) {
   auto& w = sys.create_child<Module>("w", Attribute::Process);
   w.trans("t").from(0).to(1).action([](Module&, const Interaction*) {});
   spec.initialize();
-  EXPECT_NO_THROW(SequentialScheduler(spec).run());
+  EXPECT_NO_THROW(make_executor(spec)->run());
 }
 
 }  // namespace
