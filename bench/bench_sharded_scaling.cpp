@@ -1,0 +1,203 @@
+// Sharded-executor scaling on the Fig. 2 multi-client configuration.
+//
+// Fig. 2 of the paper shows client workstations holding control connections
+// and, on the multiprocessor, one independent MCAM server entity per
+// connection: "all these server entities can run simultaneously on a
+// multiprocessor system". Here each server entity is what §4.1 makes it —
+// an Estelle system module of its own — so ConflictAnalysis gives every
+// entity (and every client workstation) a shard, and ExecutorKind::Sharded
+// runs them in parallel with per-shard virtual clocks.
+//
+// Part A: the exact Fig. 2 shape (client 1 with two connections, client 2
+// with one) — conflict analysis, per-shard stats, and the virtual-time
+// speedup of the sharded runtime over the sequential baseline. The
+// acceptance line: >= 2x at 4 workers.
+//
+// Part B: the scaled multi-client sweep (8 clients x 2 connections), worker
+// counts 1..8. Virtual completion time is worker-independent (it models the
+// shards' parallel clocks); the sweep shows wall-clock behaviour and the
+// work-stealing counters.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ps_workload.hpp"
+#include "estelle/conflict.hpp"
+#include "estelle/executor.hpp"
+#include "estelle/shard_executor.hpp"
+#include "osi/presentation.hpp"
+#include "osi/session.hpp"
+#include "osi/transport.hpp"
+
+using namespace mcam;
+using common::SimTime;
+using estelle::Attribute;
+using estelle::Module;
+
+namespace {
+
+struct Fig2World {
+  std::unique_ptr<estelle::Specification> spec;
+  std::vector<bench::Responder*> responders;
+  int requests = 0;
+
+  [[nodiscard]] bool done() const {
+    for (const bench::Responder* r : responders)
+      if (r->received() < requests) return false;
+    return true;
+  }
+};
+
+/// `conns_per_client[i]` control connections for client i+1; one server
+/// entity (its own systemprocess module) per connection, as in Fig. 2.
+Fig2World build_fig2(const std::vector<int>& conns_per_client, int requests) {
+  Fig2World w;
+  w.requests = requests;
+  w.spec = std::make_unique<estelle::Specification>("fig2-sharded");
+
+  int conn_no = 0;
+  for (std::size_t c = 0; c < conns_per_client.size(); ++c) {
+    auto& client_sys = w.spec->root().create_child<Module>(
+        "client" + std::to_string(c + 1), Attribute::SystemProcess);
+    client_sys.set_uniprocessor_host(true);  // §3: client workstations
+    for (int k = 0; k < conns_per_client[c]; ++k) {
+      const std::string tag = std::to_string(++conn_no);
+      auto& entity = w.spec->root().create_child<Module>(
+          "entity" + tag + "@ksr1", Attribute::SystemProcess);
+
+      auto& initiator = client_sys.create_child<bench::Initiator>(
+          "init" + tag, requests, /*payload_bytes=*/16, SimTime::from_us(20));
+      auto& cpres = client_sys.create_child<osi::PresentationModule>(
+          "pres" + tag, osi::PresentationModule::Config{});
+      auto& csess = client_sys.create_child<osi::SessionModule>(
+          "sess" + tag, osi::SessionModule::Config{});
+      auto& ctp = client_sys.create_child<osi::TransportModule>(
+          "tp" + tag, osi::TransportModule::Config{});
+      estelle::connect(initiator.ip("svc"), cpres.upper());
+      estelle::connect(cpres.lower(), csess.upper());
+      estelle::connect(csess.lower(), ctp.upper());
+
+      auto& responder = entity.create_child<bench::Responder>(
+          "resp" + tag, SimTime::from_us(20));
+      auto& spres = entity.create_child<osi::PresentationModule>(
+          "pres" + tag, osi::PresentationModule::Config{});
+      auto& ssess = entity.create_child<osi::SessionModule>(
+          "sess" + tag, osi::SessionModule::Config{});
+      auto& stp = entity.create_child<osi::TransportModule>(
+          "tp" + tag, osi::TransportModule::Config{});
+      estelle::connect(responder.ip("svc"), spres.upper());
+      estelle::connect(spres.lower(), ssess.upper());
+      estelle::connect(ssess.lower(), stp.upper());
+
+      estelle::connect(ctp.net(), stp.net());  // the Fig. 2 transport pipe
+      w.responders.push_back(&responder);
+    }
+  }
+  w.spec->initialize();
+  return w;
+}
+
+struct Outcome {
+  SimTime virtual_time{};
+  double wall_ms = 0;
+  estelle::RunReport report;
+};
+
+Outcome run_world(const std::vector<int>& conns, int requests,
+                  const estelle::ExecutorConfig& runtime) {
+  Fig2World w = build_fig2(conns, requests);
+  auto executor = estelle::make_executor(*w.spec, runtime);
+  const auto start = std::chrono::steady_clock::now();
+  Outcome out;
+  out.report = executor->run_until([&] { return w.done(); });
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  out.virtual_time = executor->now();
+  return out;
+}
+
+void part_a() {
+  const std::vector<int> kFig2Conns = {2, 1};
+  const int kRequests = 200;
+
+  std::printf("== part A: the Fig. 2 configuration, sharded ==\n\n");
+  {
+    Fig2World w = build_fig2(kFig2Conns, kRequests);
+    estelle::ConflictAnalysis analysis(*w.spec);
+    std::printf("%s\n", analysis.to_string().c_str());
+  }
+
+  const Outcome seq = run_world(kFig2Conns, kRequests, {});
+  std::printf("%14s %14s %9s\n", "runtime", "virtual time", "speedup");
+  std::printf("%14s %11.3f ms %9s\n", "sequential", seq.virtual_time.millis(),
+              "1.00x");
+  double speedup_at_4 = 0;
+  for (int workers : {1, 2, 4}) {
+    const Outcome shd = run_world(
+        kFig2Conns, kRequests,
+        {.kind = estelle::ExecutorKind::Sharded, .threads = workers});
+    const double speedup = static_cast<double>(seq.virtual_time.ns) /
+                           static_cast<double>(shd.virtual_time.ns);
+    if (workers == 4) speedup_at_4 = speedup;
+    std::printf("%10d wkr %11.3f ms %8.2fx\n", workers,
+                shd.virtual_time.millis(), speedup);
+    if (workers == 4) {
+      std::printf("\nper-shard stats at 4 workers:\n");
+      std::printf("  %-28s %8s %8s %8s %12s\n", "shard (system module)",
+                  "fired", "rounds", "steals", "clock");
+      for (const estelle::ShardRunStats& s : shd.report.shards)
+        std::printf("  %-28s %8llu %8llu %8llu %9.3f ms\n",
+                    s.system_module.c_str(),
+                    static_cast<unsigned long long>(s.fired),
+                    static_cast<unsigned long long>(s.rounds),
+                    static_cast<unsigned long long>(s.steals),
+                    s.clock.millis());
+    }
+  }
+  std::printf(
+      "\nacceptance: sharded @ 4 workers is %.2fx over sequential (%s 2x "
+      "target)\n\n",
+      speedup_at_4, speedup_at_4 >= 2.0 ? "meets" : "MISSES");
+}
+
+void part_b() {
+  std::printf(
+      "== part B: multi-client sweep (8 clients x 2 connections, 24 "
+      "shards) ==\n\n");
+  const std::vector<int> conns(8, 2);
+  const int kRequests = 200;
+
+  const Outcome seq = run_world(conns, kRequests, {});
+  std::printf("%14s %14s %9s %12s %8s\n", "runtime", "virtual time",
+              "speedup", "wall", "steals");
+  std::printf("%14s %11.3f ms %9s %9.2f ms %8s\n", "sequential",
+              seq.virtual_time.millis(), "1.00x", seq.wall_ms, "-");
+  for (int workers : {1, 2, 4, 8}) {
+    const Outcome shd = run_world(
+        conns, kRequests,
+        {.kind = estelle::ExecutorKind::Sharded, .threads = workers});
+    unsigned long long steals = 0;
+    for (const estelle::ShardRunStats& s : shd.report.shards)
+      steals += s.steals;
+    std::printf("%10d wkr %11.3f ms %8.2fx %9.2f ms %8llu\n", workers,
+                shd.virtual_time.millis(),
+                static_cast<double>(seq.virtual_time.ns) /
+                    static_cast<double>(shd.virtual_time.ns),
+                shd.wall_ms, steals);
+  }
+  std::printf(
+      "\npaper reference: server entities run simultaneously on the KSR1;\n"
+      "virtual completion time models the shards' parallel clocks (worker-\n"
+      "independent); client workstations (uniprocessor shards) bound it.\n");
+}
+
+}  // namespace
+
+int main() {
+  part_a();
+  part_b();
+  return 0;
+}

@@ -5,9 +5,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include <algorithm>
+
 #include "estelle/module.hpp"
 #include "estelle/sched.hpp"
-#include "estelle/trace.hpp"
+#include "estelle/shard_executor.hpp"
 
 namespace mcam::estelle {
 
@@ -59,6 +61,8 @@ const char* builtin_kind_name(ExecutorKind k) noexcept {
       return "parallel-sim";
     case ExecutorKind::Threaded:
       return "threaded";
+    case ExecutorKind::Sharded:
+      return "sharded";
   }
   return nullptr;
 }
@@ -131,20 +135,38 @@ RunReport Executor::run_until(std::function<bool()> pred) {
   return run(opts);
 }
 
+void Executor::add_run_observer(RunObserver* observer) {
+  if (observer == nullptr) return;
+  for (RunObserver* o : run_observers_)
+    if (o == observer) return;  // idempotent
+  run_observers_.push_back(observer);
+}
+
+void Executor::remove_run_observer(RunObserver* observer) noexcept {
+  run_observers_.erase(
+      std::remove(run_observers_.begin(), run_observers_.end(), observer),
+      run_observers_.end());
+}
+
 // ---------------------------------------------------------------------------
 // ExecutorBase
 
-/// Fans one notification out to the per-run observers plus the deprecated
-/// process-global TraceRecorder. The legacy recorder is looked up per event
-/// (as the old fire() path did), so mid-run install()/uninstall() takes
-/// effect immediately; a recorder that is both installed globally and passed
-/// in RunOptions::observers is notified once, not twice.
+/// Fans one notification out to the executor's persistent run_observers()
+/// followed by the run's RunOptions::observers. An observer present in both
+/// lists is notified once, not twice.
 class ExecutorBase::Chain final : public RunObserver {
  public:
-  explicit Chain(const std::vector<RunObserver*>& observers) {
-    observers_.reserve(observers.size());
-    for (RunObserver* o : observers)  // tolerate optional (null) observers
+  Chain(const std::vector<RunObserver*>& persistent,
+        const std::vector<RunObserver*>& observers) {
+    observers_.reserve(persistent.size() + observers.size());
+    for (RunObserver* o : persistent)
       if (o != nullptr) observers_.push_back(o);
+    for (RunObserver* o : observers) {  // tolerate optional (null) observers
+      if (o == nullptr) continue;
+      if (std::find(observers_.begin(), observers_.end(), o) ==
+          observers_.end())
+        observers_.push_back(o);
+    }
   }
 
   void on_run_begin(Executor& ex) override {
@@ -152,29 +174,23 @@ class ExecutorBase::Chain final : public RunObserver {
   }
   void on_fire(const Module& m, const Transition& t, SimTime now) override {
     for (RunObserver* o : observers_) o->on_fire(m, t, now);
-    if (TraceRecorder* legacy = legacy_recorder()) legacy->note_fire(m, t, now);
   }
   void on_round_end(Executor& ex, std::uint64_t round) override {
     for (RunObserver* o : observers_) o->on_round_end(ex, round);
+  }
+  void on_report(Executor& ex, RunReport& report) override {
+    for (RunObserver* o : observers_) o->on_report(ex, report);
   }
   void on_run_end(Executor& ex, const RunReport& report) override {
     for (RunObserver* o : observers_) o->on_run_end(ex, report);
   }
 
  private:
-  [[nodiscard]] TraceRecorder* legacy_recorder() const {
-    TraceRecorder* legacy = TraceRecorder::current();
-    if (legacy == nullptr) return nullptr;
-    for (RunObserver* o : observers_)
-      if (o == legacy) return nullptr;  // already notified via the chain
-    return legacy;
-  }
-
   std::vector<RunObserver*> observers_;
 };
 
 RunReport ExecutorBase::run(const RunOptions& opts) {
-  Chain chain(opts.observers);
+  Chain chain(run_observers(), opts.observers);
   // Save/restore the active chain (exception-safe): a stop predicate or a
   // between-round hook may reentrantly run() this executor, and the outer
   // run's observers must keep seeing events afterwards. (Reentry from
@@ -217,6 +233,8 @@ RunReport ExecutorBase::run(const RunOptions& opts) {
     report.stats = stats_;
     report.time = now_;
     nested_fired_ = prev_nested + (stats_.fired - fired_before);
+    decorate_report(report);
+    chain.on_report(*this, report);
     return report;
   };
 
@@ -298,6 +316,11 @@ ExecutorFactory::ExecutorFactory() {
       ExecutorKind::Threaded, builtin_kind_name(ExecutorKind::Threaded),
       [](Specification& spec, const ExecutorConfig& cfg) {
         return std::make_unique<ThreadedScheduler>(spec, cfg);
+      });
+  register_backend(
+      ExecutorKind::Sharded, builtin_kind_name(ExecutorKind::Sharded),
+      [](Specification& spec, const ExecutorConfig& cfg) {
+        return std::make_unique<ShardedExecutor>(spec, cfg);
       });
 }
 

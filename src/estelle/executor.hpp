@@ -20,8 +20,8 @@
 //                   run, and the executor-lifetime SchedulerStats.
 //
 // Observer contract: all RunObserver callbacks are invoked on the thread that
-// called run(), even under the real-thread backend (which announces a round's
-// firing set before its workers execute it). Observers therefore need no
+// called run(), even under the real-thread backends (which announce a round's
+// firing set before their workers execute it). Observers therefore need no
 // internal locking.
 #pragma once
 
@@ -98,11 +98,12 @@ enum class ExecutorKind {
   Sequential,   // single processor, virtual time — the speedup baseline
   ParallelSim,  // simulated multiprocessor (the KSR1 experiments, §5)
   Threaded,     // real std::thread execution, deterministic commit order
+  Sharded,      // work-stealing real threads, one shard per system module
 };
 
 inline constexpr ExecutorKind kAllExecutorKinds[] = {
     ExecutorKind::Sequential, ExecutorKind::ParallelSim,
-    ExecutorKind::Threaded};
+    ExecutorKind::Threaded, ExecutorKind::Sharded};
 
 /// Name of a kind — built-in or registered with ExecutorFactory.
 [[nodiscard]] const char* executor_kind_name(ExecutorKind k) noexcept;
@@ -184,6 +185,12 @@ class RunObserver {
   virtual void on_fire(const Module& /*module*/,
                        const Transition& /*transition*/, SimTime /*now*/) {}
   virtual void on_round_end(Executor& /*executor*/, std::uint64_t /*round*/) {}
+  /// Invoked with the assembled report just before on_run_end; observers
+  /// that aggregate their own measurements (MetricsObserver) publish them
+  /// into the report here, so callers get everything from run()'s return
+  /// value.
+  virtual void on_report(Executor& /*executor*/, struct RunReport& /*report*/) {
+  }
   virtual void on_run_end(Executor& /*executor*/,
                           const struct RunReport& /*report*/) {}
 };
@@ -198,6 +205,27 @@ struct RunOptions {
   std::vector<RunObserver*> observers;
 };
 
+/// Per-shard execution statistics, reported by ExecutorKind::Sharded
+/// (empty under other backends). Counters are executor-lifetime, like
+/// SchedulerStats.
+struct ShardRunStats {
+  int shard = 0;
+  std::string system_module;  // path of the shard's system module
+  bool uniprocessor_host = false;
+  std::uint64_t fired = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t steals = 0;  // times an idle worker stole this shard
+  SimTime clock{};           // shard-local virtual clock
+};
+
+/// Per-module firing summary, published into RunReport by a MetricsObserver
+/// (metrics.hpp) from its on_report hook; empty unless one observed the run.
+struct ModuleFiringMetrics {
+  std::string module_path;
+  std::uint64_t fired = 0;
+  SimTime mean_gap{};  // mean virtual time between consecutive firings
+};
+
 /// What one run() call did.
 struct RunReport {
   ExecutorKind kind{};
@@ -206,6 +234,12 @@ struct RunReport {
   std::uint64_t fired = 0;  // transitions fired in this run
   SchedulerStats stats{};   // executor-lifetime cumulative counters
   SimTime time{};           // virtual clock when the run ended
+  std::vector<ShardRunStats> shards;  // per-shard stats (Sharded backend)
+  /// Filled by MetricsObserver::on_report when one is attached:
+  std::vector<ModuleFiringMetrics> module_metrics;
+  /// Histogram of virtual-time gaps between consecutive firings of the same
+  /// module; bucket i counts gaps in [2^i, 2^(i+1)) microseconds.
+  std::vector<std::uint64_t> firing_gap_histogram;
 };
 
 // ---------------------------------------------------------------------------
@@ -226,11 +260,27 @@ class Executor {
   /// Convenience: run({.stop = {StopCondition::when(pred)}}).
   RunReport run_until(std::function<bool()> pred);
 
+  /// Attach an observer to every subsequent run() of this executor, ahead
+  /// of that run's RunOptions::observers. This is the executor-scoped
+  /// replacement for the retired process-global TraceRecorder::install()
+  /// shim: facades that pump one executor many times (McamClient) can be
+  /// observed without threading options through every call. Not owned; the
+  /// observer must outlive the runs.
+  void add_run_observer(RunObserver* observer);
+  void remove_run_observer(RunObserver* observer) noexcept;
+  [[nodiscard]] const std::vector<RunObserver*>& run_observers()
+      const noexcept {
+    return run_observers_;
+  }
+
   [[nodiscard]] virtual ExecutorKind kind() const noexcept = 0;
   [[nodiscard]] virtual SimTime now() const noexcept = 0;
   [[nodiscard]] virtual const SchedulerStats& stats() const noexcept = 0;
   /// Execution units this runtime drives (simulated units, threads, …).
   [[nodiscard]] virtual int unit_count() const noexcept { return 1; }
+
+ private:
+  std::vector<RunObserver*> run_observers_;
 };
 
 /// Shared skeleton for executors: owns the virtual clock, the cumulative
@@ -257,6 +307,10 @@ class ExecutorBase : public Executor {
   /// Called after the loop ends, before the report is assembled (e.g. to
   /// pull aggregate counters out of a simulation engine).
   virtual void finalize_stats() {}
+  /// Backend-specific report decoration (e.g. the sharded backend fills
+  /// RunReport::shards). Runs after the common fields are assembled, before
+  /// observers see the report.
+  virtual void decorate_report(RunReport& /*report*/) {}
 
   /// Firing set across all system modules at now(), parent precedence and
   /// process/activity semantics applied; adds guard-scan count to
@@ -268,8 +322,8 @@ class ExecutorBase : public Executor {
   /// requested StopCondition::deadline(); false if there is no wakeup (the
   /// world is quiescent).
   bool advance_to_wakeup();
-  /// The observer chain of the active run (includes the deprecated global
-  /// TraceRecorder, if installed); null outside run().
+  /// The observer chain of the active run (persistent run_observers() first,
+  /// then the run's RunOptions::observers); null outside run().
   [[nodiscard]] RunObserver* observer() noexcept { return chain_; }
 
   Specification& spec_;
@@ -308,7 +362,9 @@ struct ExecutorConfig {
   Mapping mapping = Mapping::ThreadPerModule;
   sim::CostModel costs{};
 
-  // Real-thread backend:
+  // Real-thread backends (Threaded, Sharded): worker count. The sharded
+  // backend caps its pool at the shard count (stealing whole shards, extra
+  // workers could never be busy).
   int threads = 2;
 
   /// Escape hatch for backends registered out of tree: their creator reads

@@ -1,5 +1,7 @@
 #include "estelle/interaction.hpp"
 
+#include <array>
+#include <mutex>
 #include <stdexcept>
 
 #include "estelle/module.hpp"
@@ -12,7 +14,24 @@ InteractionPoint::InteractionPoint(Module& owner, std::string name)
 InteractionPoint::~InteractionPoint() { disconnect(*this); }
 
 namespace {
+
 thread_local OutputCapture* t_capture = nullptr;
+thread_local int t_shard = kNoShard;
+thread_local SimTime t_shard_now{};
+
+/// Striped lock pool for the cross-shard transfer mailboxes. Striping keeps
+/// the per-IP footprint at one vector while still letting unrelated channels
+/// transfer concurrently; two IPs hashing to one stripe merely contend, they
+/// never deadlock (each deliver/drain takes exactly one stripe).
+constexpr std::size_t kTransferStripes = 64;
+std::array<std::mutex, kTransferStripes> g_transfer_mu;
+
+std::mutex& stripe_of(const InteractionPoint* ip) {
+  const auto h = reinterpret_cast<std::uintptr_t>(ip);
+  // Mix the low bits away: IPs are heap objects with aligned addresses.
+  return g_transfer_mu[(h >> 6) % kTransferStripes];
+}
+
 }  // namespace
 
 OutputCapture::~OutputCapture() {
@@ -30,8 +49,60 @@ void OutputCapture::end() noexcept {
 }
 
 void OutputCapture::commit() {
+  // deliver() re-routes each item; with no capture installed and no shard
+  // scope active (commit runs on the coordinating thread) this lands in the
+  // destination inboxes directly.
   for (auto& [ip, msg] : items_) ip->deliver(std::move(msg));
   items_.clear();
+}
+
+ShardExecutionScope::ShardExecutionScope(int shard, SimTime now)
+    : prev_shard_(t_shard), prev_now_(t_shard_now) {
+  t_shard = shard;
+  t_shard_now = now;
+}
+
+ShardExecutionScope::~ShardExecutionScope() {
+  t_shard = prev_shard_;
+  t_shard_now = prev_now_;
+}
+
+int ShardExecutionScope::current_shard() noexcept { return t_shard; }
+
+void InteractionPoint::deliver(Interaction msg) {
+  if (t_capture != nullptr) {
+    t_capture->items_.emplace_back(this, std::move(msg));
+    return;
+  }
+  if (t_shard != kNoShard && owner_.shard() != t_shard) {
+    // Two-phase cross-shard handoff: park in the transfer mailbox, stamped
+    // with the sender shard's clock; the owning shard drains at its next
+    // epoch boundary.
+    std::lock_guard<std::mutex> lock(stripe_of(this));
+    transfers_.emplace_back(std::move(msg), t_shard_now);
+    transfer_count_.store(transfers_.size(), std::memory_order_release);
+    return;
+  }
+  inbox_.push_back(std::move(msg));
+}
+
+std::size_t InteractionPoint::drain_transfers(SimTime* watermark) {
+  // Empty-mailbox fast path, lock-free: epoch boundaries are separated from
+  // worker deliveries by the pool join, so a zero count really means empty.
+  if (transfer_count_.load(std::memory_order_acquire) == 0) return 0;
+  std::lock_guard<std::mutex> lock(stripe_of(this));
+  const std::size_t n = transfers_.size();
+  for (auto& [msg, sent_at] : transfers_) {
+    if (watermark != nullptr && sent_at > *watermark) *watermark = sent_at;
+    inbox_.push_back(std::move(msg));
+  }
+  transfers_.clear();
+  transfer_count_.store(0, std::memory_order_release);
+  return n;
+}
+
+bool InteractionPoint::has_pending_transfers() const {
+  return transfer_count_.load(std::memory_order_acquire) != 0;
 }
 
 bool InteractionPoint::output(Interaction msg) {
@@ -43,10 +114,6 @@ bool InteractionPoint::output(Interaction msg) {
       loss_rng_->chance(loss_probability_)) {
     ++dropped_;
     return false;
-  }
-  if (t_capture != nullptr) {
-    t_capture->items_.emplace_back(peer_, std::move(msg));
-    return true;
   }
   peer_->deliver(std::move(msg));
   return true;
@@ -67,12 +134,18 @@ void connect(InteractionPoint& a, InteractionPoint& b) {
   if (&a == &b) throw std::logic_error("cannot connect IP to itself");
   a.attach_peer(&b);
   b.attach_peer(&a);
+  if (Specification* spec = a.owner().specification())
+    spec->note_topology_change();
+  if (Specification* spec = b.owner().specification())
+    spec->note_topology_change();
 }
 
 void disconnect(InteractionPoint& ip) noexcept {
   if (InteractionPoint* peer = ip.peer()) {
     peer->attach_peer(nullptr);
     ip.attach_peer(nullptr);
+    if (Specification* spec = ip.owner().specification())
+      spec->note_topology_change();
   }
 }
 

@@ -9,8 +9,21 @@
 // carry impairments (loss, delay) so protocol experiments can inject faults
 // below a layer without a full network simulation — this stands in for the
 // paper's "simulated transport layer pipe" (§5.1).
+//
+// Delivery is *channel policy*, decided inside deliver() rather than by each
+// backend: an interaction entering an IP is routed to exactly one of
+//   1. the thread's active OutputCapture (two-phase commit per firing
+//      candidate — the real-thread executor's mechanism),
+//   2. the IP's cross-shard transfer mailbox, when a shard execution scope is
+//      active on the calling thread and the destination belongs to a
+//      different shard (two-phase commit per shard epoch — the sharded
+//      executor's mechanism), or
+//   3. the plain inbox deque (same-shard / unsharded / main-thread case).
+// Because every backend funnels through the same routing point, race-free
+// commit semantics are a property of the channel, not of any one scheduler.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -32,6 +45,9 @@ using common::SimTime;
 inline constexpr int kAnyKind = -1;
 /// Matches any FSM state in a `from` clause.
 inline constexpr int kAnyState = -1;
+
+/// Shard id meaning "not assigned to any shard" (unsharded execution).
+inline constexpr int kNoShard = -1;
 
 /// One Estelle interaction: a kind (the interaction name in the channel
 /// definition) plus parameters. Structured parameters travel as an ASN.1
@@ -87,20 +103,55 @@ class InteractionPoint {
     loss_probability_ = probability;
     loss_rng_ = rng;
   }
+  /// The loss Rng (nullptr when no loss is injected). ConflictAnalysis uses
+  /// pointer identity to detect an Rng shared across shards.
+  [[nodiscard]] common::Rng* loss_rng() const noexcept { return loss_rng_; }
+  [[nodiscard]] double loss_probability() const noexcept {
+    return loss_probability_;
+  }
 
   // Used by connect()/disconnect() free functions.
   void attach_peer(InteractionPoint* peer) noexcept { peer_ = peer; }
-  void deliver(Interaction msg) { inbox_.push_back(std::move(msg)); }
+  /// Route one interaction into this IP (see the routing policy in the
+  /// header comment). Only the direct-inbox and capture paths may be used
+  /// outside a shard execution scope; the transfer path takes a striped lock
+  /// and is safe from any thread.
+  void deliver(Interaction msg);
+
+  // ---- two-phase cross-shard mailbox ----
+  /// Move every cross-shard arrival into the inbox, in transfer order.
+  /// Single-consumer: only the worker currently stepping the owning shard
+  /// (or the run thread between epochs) may call this. Returns the number of
+  /// interactions moved; `watermark` (if given) is raised to the latest
+  /// sender-side timestamp seen, which the sharded executor uses to keep the
+  /// receiving shard's clock ahead of every message it has accepted.
+  std::size_t drain_transfers(SimTime* watermark = nullptr);
+  /// True when cross-shard arrivals are waiting to be drained.
+  [[nodiscard]] bool has_pending_transfers() const;
 
   /// Statistics for Table-1 style reliability measurements.
   [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Zero the sent/dropped counters. clear() deliberately does NOT touch
+  /// them (it empties the queue, it does not rewrite history); call this
+  /// when an IP is reused across otherwise-independent runs.
+  void reset_stats() noexcept {
+    sent_ = 0;
+    dropped_ = 0;
+  }
 
  private:
   Module& owner_;
   std::string name_;
   InteractionPoint* peer_ = nullptr;
   std::deque<Interaction> inbox_;
+  /// Cross-shard arrivals parked until the owning shard's next epoch
+  /// boundary, stamped with the sender shard's clock. Guarded by a striped
+  /// mutex pool (see interaction.cpp), not a per-IP mutex, so idle IPs cost
+  /// nothing; `transfer_count_` mirrors the size so the per-epoch drain
+  /// sweep can skip empty mailboxes without touching a lock.
+  std::vector<std::pair<Interaction, SimTime>> transfers_;
+  std::atomic<std::size_t> transfer_count_{0};
   double loss_probability_ = 0.0;
   common::Rng* loss_rng_ = nullptr;
   std::uint64_t sent_ = 0;
@@ -113,12 +164,12 @@ void connect(InteractionPoint& a, InteractionPoint& b);
 /// Tear down the channel between `ip` and its peer (idempotent).
 void disconnect(InteractionPoint& ip) noexcept;
 
-/// While alive on a thread, outputs on that thread are recorded instead of
-/// delivered; commit() hands them to the peers. The real-thread executor
-/// (ExecutorKind::Threaded) uses one capture per firing candidate and
-/// commits in deterministic candidate order after the parallel join, making
-/// real-thread execution race-free and bit-identical to sequential
-/// execution.
+/// While alive on a thread, every deliver() on that thread records the
+/// interaction instead of enqueuing it; commit() hands the recorded batch to
+/// the destination inboxes. The real-thread executor (ExecutorKind::Threaded)
+/// uses one capture per firing candidate and commits in deterministic
+/// candidate order after the parallel join, making real-thread execution
+/// race-free and bit-identical to sequential execution.
 class OutputCapture {
  public:
   OutputCapture() = default;
@@ -139,6 +190,26 @@ class OutputCapture {
  private:
   friend class InteractionPoint;
   std::vector<std::pair<InteractionPoint*, Interaction>> items_;
+};
+
+/// While alive on a thread, marks that thread as executing shard `shard` at
+/// shard-local time `now`: deliveries to IPs of other shards detour into
+/// their transfer mailboxes (stamped with `now`) instead of touching the
+/// foreign inbox. The sharded executor installs one scope per shard round;
+/// everything else runs unscoped and delivers directly.
+class ShardExecutionScope {
+ public:
+  ShardExecutionScope(int shard, SimTime now);
+  ~ShardExecutionScope();
+  ShardExecutionScope(const ShardExecutionScope&) = delete;
+  ShardExecutionScope& operator=(const ShardExecutionScope&) = delete;
+
+  /// The shard the calling thread is executing for, or kNoShard.
+  [[nodiscard]] static int current_shard() noexcept;
+
+ private:
+  int prev_shard_;
+  SimTime prev_now_;
 };
 
 }  // namespace mcam::estelle

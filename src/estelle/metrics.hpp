@@ -1,0 +1,74 @@
+// Per-run metrics collection for Estelle executors.
+//
+// MetricsObserver is a RunObserver that watches fire events and aggregates
+//   * per-module firing counts, and
+//   * a histogram of firing gaps — the virtual time between consecutive
+//     firings of the same module (its service interval; the reciprocal of a
+//     server entity's throughput in the paper's Table-1/§5 measurements).
+// From its on_report hook it publishes both into RunReport::module_metrics
+// and RunReport::firing_gap_histogram, so a caller that attaches the
+// observer gets the measurements from run()'s return value:
+//
+//   MetricsObserver metrics;
+//   RunReport r = executor->run({.observers = {&metrics}});
+//   for (const ModuleFiringMetrics& m : r.module_metrics) ...
+//
+// Attach with Executor::add_run_observer to aggregate across the many short
+// runs a client facade pumps (every report of that executor then carries the
+// cumulative picture). Counters are observer-lifetime; clear() resets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "estelle/executor.hpp"
+
+namespace mcam::estelle {
+
+class MetricsObserver : public RunObserver {
+ public:
+  /// Histogram buckets: bucket i counts gaps in [2^i, 2^(i+1)) µs; bucket 0
+  /// also absorbs sub-microsecond gaps, the last bucket absorbs the tail.
+  static constexpr std::size_t kHistogramBuckets = 20;
+
+  void on_fire(const Module& module, const Transition& transition,
+               common::SimTime now) override;
+  void on_report(Executor& executor, RunReport& report) override;
+
+  [[nodiscard]] std::uint64_t total_fired() const noexcept { return fired_; }
+  /// Firing count of one module (0 if never seen).
+  [[nodiscard]] std::uint64_t fired_by(const std::string& module_path) const;
+  [[nodiscard]] const std::vector<std::uint64_t>& histogram() const noexcept {
+    return histogram_;
+  }
+  /// Snapshot of the per-module metrics, most-fired first (what on_report
+  /// publishes into the report).
+  [[nodiscard]] std::vector<ModuleFiringMetrics> module_metrics() const;
+
+  /// Render "path fired mean-gap" lines plus the histogram, most-fired
+  /// first; `top` caps the per-module lines.
+  [[nodiscard]] std::string to_string(std::size_t top = 10) const;
+
+  void clear();
+
+ private:
+  struct PerModule {
+    std::string path;
+    std::uint64_t fired = 0;
+    common::SimTime last_fire{};
+    common::SimTime gap_sum{};
+    std::uint64_t gaps = 0;
+  };
+
+  /// Keyed by instance id — path strings are materialized once, not per
+  /// event; ids are unique for the process lifetime.
+  std::unordered_map<std::uint64_t, PerModule> modules_;
+  std::vector<std::uint64_t> histogram_ =
+      std::vector<std::uint64_t>(kHistogramBuckets, 0);
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace mcam::estelle

@@ -114,8 +114,12 @@ void Module::adopt(std::unique_ptr<Module> child) {
   check_child_rules(*child);
   child->parent_ = this;
   child->set_specification(spec_);
+  // Inherit the shard immediately: a module created by a firing action must
+  // be routable before the next ConflictAnalysis refresh.
+  child->for_each([this](Module& m) { m.shard_ = shard_; });
   Module& ref = *child;
   children_.push_back(std::move(child));
+  if (spec_ != nullptr) spec_->note_topology_change();
   // Dynamically created modules (after initialize()) run their init hook
   // immediately; static ones are initialized by Specification::initialize().
   if (spec_ != nullptr && spec_->initialized())
@@ -139,6 +143,7 @@ void Module::release_child(Module& child) {
     for (auto& ip : m.ips_) disconnect(*ip);
   });
   children_.erase(it);
+  if (spec_ != nullptr) spec_->note_topology_change();
 }
 
 std::size_t Module::subtree_size() const noexcept {

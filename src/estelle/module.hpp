@@ -23,6 +23,7 @@
 // activity-exclusive children) live in sched.hpp.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -233,6 +234,16 @@ class Module {
   /// Nearest ancestor (or self) that is a system module; nullptr if none.
   [[nodiscard]] Module* owning_system_module() noexcept;
 
+  /// Shard this module executes on (kNoShard until a ConflictAnalysis has
+  /// bound shards). One shard per system-module subtree: the id is stamped
+  /// on every module of the subtree, and interaction delivery uses it to
+  /// route cross-shard messages through the transfer mailboxes. Children
+  /// created dynamically inherit the parent's shard immediately (adopt()),
+  /// so mid-run creations stay correctly routed until the next analysis
+  /// refresh.
+  [[nodiscard]] int shard() const noexcept { return shard_; }
+  void set_shard(int shard) noexcept { shard_ = shard; }
+
   /// Walk the subtree, depth-first, calling f on every module.
   void for_each(const std::function<void(Module&)>& f);
 
@@ -265,6 +276,7 @@ class Module {
   int scan_effort_ = 0;
   bool initialized_ = false;
   bool uniprocessor_host_ = false;
+  int shard_ = -1;  // kNoShard; see shard()
 };
 
 /// True iff `t` can fire in module `m` at time `now` (state, head-of-queue,
@@ -290,10 +302,23 @@ class Specification {
   /// All system modules in document order (stable across the run, R6).
   [[nodiscard]] std::vector<Module*> system_modules();
 
+  /// Monotone counter bumped on every structural change (module adopted or
+  /// released, channel connected or disconnected). ConflictAnalysis caches
+  /// the version it was computed at and rebuilds only when it moved, so
+  /// per-round freshness checks are one integer compare. Atomic because
+  /// firing actions may adopt/connect concurrently on worker threads.
+  [[nodiscard]] std::uint64_t topology_version() const noexcept {
+    return topology_version_.load(std::memory_order_acquire);
+  }
+  void note_topology_change() noexcept {
+    topology_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
  private:
   std::string name_;
   std::unique_ptr<Module> root_;
   bool initialized_ = false;
+  std::atomic<std::uint64_t> topology_version_{0};
 };
 
 }  // namespace mcam::estelle

@@ -212,40 +212,83 @@ ThreadedScheduler::ThreadedScheduler(Specification& spec,
     : ExecutorBase(spec, cfg.max_steps), threads_(cfg.threads) {}
 
 bool ThreadedScheduler::step() {
+  if (!analysis_)
+    analysis_ = std::make_unique<ConflictAnalysis>(spec_);
+  else
+    analysis_->refresh();
+
   std::vector<FiringCandidate> candidates = collect_candidates();
   if (candidates.empty()) return advance_to_wakeup();
 
   const std::size_t n = candidates.size();
   const SimTime fire_time = now_;
 
-  // Announce the round's firing set up front, on this thread, in candidate
-  // order: observation stays deterministic and observers never see worker
-  // concurrency.
-  if (RunObserver* obs = observer())
-    for (const FiringCandidate& c : candidates)
-      obs->on_fire(*c.module, *c.transition, fire_time);
-
-  // Execute candidates in parallel; outputs captured per candidate and
-  // committed afterwards in candidate order (deterministic).
-  std::vector<OutputCapture> captures(n);
-  const int nthreads =
-      std::max(1, std::min<int>(threads_, static_cast<int>(n)));
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(nthreads));
-  for (int w = 0; w < nthreads; ++w) {
-    workers.emplace_back([&, w] {
-      for (std::size_t i = static_cast<std::size_t>(w); i < n;
-           i += static_cast<std::size_t>(nthreads)) {
-        captures[i].begin();
-        fire(candidates[i], fire_time);
-        captures[i].end();
+  // Split the round: a candidate conflicts when its module shares a channel
+  // (or loss Rng) with another member of the round. O(n²) pair checks over
+  // precomputed per-module signatures; rounds are small.
+  std::vector<char> conflicting(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (analysis_->modules_conflict(*candidates[i].module,
+                                      *candidates[j].module)) {
+        conflicting[i] = 1;
+        conflicting[j] = 1;
       }
-    });
+    }
   }
-  for (auto& t : workers) t.join();
-  for (auto& cap : captures) cap.commit();
 
-  stats_.fired += n;
+  // Single pass in candidate order, on this thread: conflicting candidates
+  // revalidate and fire immediately (the sequential discipline — an earlier
+  // conflicting firing may have disabled them, and their deliveries must be
+  // visible to the next revalidation); independent candidates are announced
+  // in place and deferred to the worker pool. Announcement order therefore
+  // equals the sequential scheduler's firing order exactly. Independent and
+  // conflicting candidates touch disjoint channels by construction, so the
+  // phase separation cannot reorder anything observable.
+  RunObserver* obs = observer();
+  std::vector<std::size_t> parallel;
+  parallel.reserve(n);
+  std::uint64_t fired = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!conflicting[i]) {
+      if (obs != nullptr)
+        obs->on_fire(*candidates[i].module, *candidates[i].transition,
+                     fire_time);
+      parallel.push_back(i);
+      continue;
+    }
+    if (!is_fireable(*candidates[i].transition, *candidates[i].module,
+                     fire_time))
+      continue;
+    fire(candidates[i], fire_time, obs);
+    ++fired;
+  }
+
+  // Execute the independent candidates in parallel; outputs captured per
+  // candidate and committed afterwards in candidate order (deterministic).
+  const std::size_t p = parallel.size();
+  if (p > 0) {
+    std::vector<OutputCapture> captures(p);
+    const int nthreads =
+        std::max(1, std::min<int>(threads_, static_cast<int>(p)));
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(nthreads));
+    for (int w = 0; w < nthreads; ++w) {
+      workers.emplace_back([&, w] {
+        for (std::size_t k = static_cast<std::size_t>(w); k < p;
+             k += static_cast<std::size_t>(nthreads)) {
+          captures[k].begin();
+          fire(candidates[parallel[k]], fire_time);
+          captures[k].end();
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    for (auto& cap : captures) cap.commit();
+    fired += p;
+  }
+
+  stats_.fired += fired;
   ++stats_.rounds;
   now_ += SimTime::from_us(1);  // nominal round tick so delay clauses advance
   return true;

@@ -26,9 +26,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "estelle/conflict.hpp"
 #include "estelle/executor.hpp"
 #include "estelle/module.hpp"
 #include "sim/engine.hpp"
@@ -101,13 +103,18 @@ class ParallelSimScheduler : public ExecutorBase {
   std::unordered_map<std::uint64_t, int> unit_by_module_;
 };
 
-/// Real-thread executor (correctness vehicle). Each round, the firing set
-/// executes on `threads` std::threads; outputs are captured per candidate
-/// and committed in deterministic candidate order after the join, so results
-/// are bit-identical to the sequential executor for well-formed modules.
-/// Observers are notified for the whole firing set before the workers start
-/// (see the observer contract in executor.hpp), so observation is
-/// deterministic and race-free too.
+/// Real-thread executor (correctness vehicle). Each round, the firing set is
+/// split by ConflictAnalysis into *conflicting* candidates — modules that
+/// share a channel (or loss Rng) with another member of the round — and
+/// *independent* ones. Conflicting candidates execute on the coordinating
+/// thread, in candidate order, each revalidated with is_fireable() and
+/// delivered immediately: exactly the sequential scheduler's discipline, so
+/// ill-formed (conflicting) specifications no longer race or diverge.
+/// Independent candidates execute on `threads` std::threads with outputs
+/// captured per candidate and committed in candidate order after the join.
+/// Observers see every firing in candidate order, announced on the
+/// coordinating thread before the action executes (see the observer contract
+/// in executor.hpp).
 class ThreadedScheduler : public ExecutorBase {
  public:
   explicit ThreadedScheduler(Specification& spec,
@@ -122,6 +129,9 @@ class ThreadedScheduler : public ExecutorBase {
   bool step() override;
 
   int threads_;
+  /// Built lazily on the first round (the constructor may precede
+  /// Specification::initialize() in principle; rounds cannot).
+  std::unique_ptr<ConflictAnalysis> analysis_;
 };
 
 }  // namespace mcam::estelle

@@ -1,0 +1,214 @@
+#include "estelle/shard_executor.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "estelle/sched.hpp"
+
+namespace mcam::estelle {
+
+ShardedExecutor::ShardedExecutor(Specification& spec,
+                                 const ExecutorConfig& cfg)
+    : ExecutorBase(spec, cfg.max_steps),
+      workers_(std::max(1, cfg.threads)),
+      sched_per_transition_(cfg.sched_per_transition),
+      scan_per_guard_(cfg.scan_per_guard) {}
+
+void ShardedExecutor::ensure_analysis() {
+  if (!analysis_) {
+    analysis_ = std::make_unique<ConflictAnalysis>(spec_);
+    // The system-module population is frozen (R6), so the shard vector is
+    // sized exactly once; refreshes change subtree membership only.
+    shards_.resize(static_cast<std::size_t>(analysis_->shard_count()));
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+      shards_[s].owner = static_cast<int>(s) % workers_;
+  } else {
+    analysis_->refresh();
+  }
+}
+
+std::size_t ShardedExecutor::collect_epoch() {
+  std::size_t active = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ShardState& shard = shards_[s];
+    const ShardInfo& info = analysis_->shards()[s];
+    // Phase 1 of the two-phase mailbox: accept everything other shards sent
+    // since this shard's last round, raising the clock to the watermark so
+    // no message is processed "before" it was sent.
+    SimTime watermark = shard.clock;
+    for (Module* m : info.modules)
+      for (const auto& ip : m->ips()) ip->drain_transfers(&watermark);
+    if (watermark > shard.clock) shard.clock = watermark;
+
+    shard.scan_effort = 0;
+    shard.candidates =
+        collect_firing_set(*info.system_module, shard.clock,
+                           &shard.scan_effort);
+    if (shard.candidates.empty() && shard.clock < now_) {
+      // An idle shard stops advancing its own clock, but other shards keep
+      // running; pull it up to the executor clock every epoch (system
+      // modules are asynchronous, so this is always legal) so its delay
+      // clauses mature interleaved with the busy shards' work rather than
+      // only at global quiescence.
+      shard.clock = now_;
+      shard.candidates =
+          collect_firing_set(*info.system_module, shard.clock,
+                             &shard.scan_effort);
+    }
+    shard.epoch_busy = SimTime{};
+    shard.epoch_sched = SimTime{};
+    shard.epoch_fired = 0;
+    if (!shard.candidates.empty()) ++active;
+  }
+  return active;
+}
+
+void ShardedExecutor::run_shard_round(ShardState& shard, int shard_id) {
+  // Everything this round outputs to a foreign shard detours into that
+  // shard's transfer mailbox, stamped with our round-start clock.
+  ShardExecutionScope scope(shard_id, shard.clock);
+
+  const SimTime scan_cost{scan_per_guard_.ns * shard.scan_effort};
+  shard.clock += scan_cost;
+  shard.epoch_sched += scan_cost;
+
+  for (const FiringCandidate& c : shard.candidates) {
+    // Same revalidation discipline as the sequential scheduler: an earlier
+    // firing of this round (same shard, same thread) may have consumed the
+    // state this candidate depends on.
+    if (!is_fireable(*c.transition, *c.module, shard.clock)) continue;
+    shard.clock += sched_per_transition_;
+    shard.epoch_sched += sched_per_transition_;
+    shard.clock += c.transition->cost;
+    shard.epoch_busy += c.transition->cost;
+    fire(c, shard.clock, nullptr);  // announced already, on the run thread
+    ++shard.epoch_fired;
+  }
+  ++shard.rounds;
+  shard.fired += shard.epoch_fired;
+  shard.candidates.clear();
+}
+
+bool ShardedExecutor::step() {
+  ensure_analysis();
+
+  // collect_epoch keeps idle shards synced to now_, so when nothing is
+  // active every state-entry stamp is <= now_ and the global wakeup scan
+  // below sees every pending delay.
+  const std::size_t active = collect_epoch();
+  if (active == 0) {
+    if (!advance_to_wakeup()) return false;  // quiescent
+    for (ShardState& shard : shards_)
+      if (shard.clock < now_) shard.clock = now_;
+    return true;
+  }
+
+  // Announce the epoch's firing set on this thread, shard id order then
+  // candidate order, before any worker runs (observer contract). Caveat:
+  // announcement precedes worker-side revalidation, so on a spec that is
+  // ill-formed *within* one shard (a same-shard firing disabling a
+  // same-round sibling) the announced trace can include candidates the
+  // round then skips — unlike Sequential/Threaded, which announce only
+  // actual firings. The identical-trace obligation for this backend
+  // therefore additionally assumes shard rounds are internally well-formed;
+  // the world state still matches (revalidation skips the firing itself).
+  // ROADMAP tracks announce-after-revalidation as the follow-up.
+  if (RunObserver* obs = observer()) {
+    for (const ShardState& shard : shards_)
+      for (const FiringCandidate& c : shard.candidates)
+        obs->on_fire(*c.module, *c.transition, shard.clock);
+  }
+
+  // Deal active shards to the workers' deques by current ownership, then
+  // let the pool run. A specification with statically detected conflicts
+  // degrades to one worker: still sharded and mailbox-routed, but
+  // serialized, hence race-free whatever the spec does.
+  std::vector<int> active_ids;
+  active_ids.reserve(active);
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    if (!shards_[s].candidates.empty()) active_ids.push_back(static_cast<int>(s));
+
+  const int pool = analysis_->conflict_free()
+                       ? std::min<int>(workers_, static_cast<int>(active))
+                       : 1;
+  if (pool <= 1) {
+    for (int s : active_ids) run_shard_round(shards_[static_cast<std::size_t>(s)], s);
+  } else {
+    std::mutex mu;  // guards all deques; one acquisition per shard round
+    std::vector<std::deque<int>> queues(static_cast<std::size_t>(pool));
+    for (int s : active_ids)
+      queues[static_cast<std::size_t>(shards_[static_cast<std::size_t>(s)].owner %
+                                      pool)]
+          .push_back(s);
+
+    auto next_shard = [&](int w) -> int {
+      std::lock_guard<std::mutex> lock(mu);
+      auto& own = queues[static_cast<std::size_t>(w)];
+      if (!own.empty()) {
+        const int s = own.front();
+        own.pop_front();
+        return s;
+      }
+      // Steal a whole shard from the back of the fullest victim deque.
+      int victim = -1;
+      std::size_t best = 0;
+      for (int v = 0; v < pool; ++v) {
+        const std::size_t len = queues[static_cast<std::size_t>(v)].size();
+        if (v != w && len > best) {
+          best = len;
+          victim = v;
+        }
+      }
+      if (victim < 0) return -1;
+      auto& q = queues[static_cast<std::size_t>(victim)];
+      const int s = q.back();
+      q.pop_back();
+      ShardState& shard = shards_[static_cast<std::size_t>(s)];
+      ++shard.steals;
+      shard.owner = w;  // ownership follows the thief across epochs
+      return s;
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(pool));
+    for (int w = 0; w < pool; ++w) {
+      threads.emplace_back([&, w] {
+        for (int s = next_shard(w); s >= 0; s = next_shard(w))
+          run_shard_round(shards_[static_cast<std::size_t>(s)], s);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Aggregate the epoch into the executor-lifetime counters; the executor
+  // clock is the virtual makespan over shard clocks.
+  for (const ShardState& shard : shards_) {
+    stats_.fired += shard.epoch_fired;
+    stats_.busy += shard.epoch_busy;
+    stats_.sched_time += shard.epoch_sched;
+    if (shard.clock > now_) now_ = shard.clock;
+  }
+  ++stats_.rounds;
+  return true;
+}
+
+void ShardedExecutor::decorate_report(RunReport& report) {
+  if (!analysis_) return;
+  report.shards.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const ShardInfo& info = analysis_->shards()[s];
+    ShardRunStats out;
+    out.shard = info.id;
+    out.system_module = info.system_module->path();
+    out.uniprocessor_host = info.uniprocessor_host;
+    out.fired = shards_[s].fired;
+    out.rounds = shards_[s].rounds;
+    out.steals = shards_[s].steals;
+    out.clock = shards_[s].clock;
+    report.shards.push_back(std::move(out));
+  }
+}
+
+}  // namespace mcam::estelle

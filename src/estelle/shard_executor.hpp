@@ -1,0 +1,104 @@
+// ExecutorKind::Sharded — the work-stealing sharded runtime.
+//
+// The paper's scaling argument (§3, §5): an Estelle server spreads over a
+// multiprocessor because its *system modules* are mutually independent and
+// asynchronous (§4). This backend makes that structural: ConflictAnalysis
+// assigns one shard per system-module subtree, and each shard executes its
+// own rounds with its own virtual clock, synchronizing with other shards
+// only through the two-phase transfer mailboxes (interaction.hpp). There is
+// no global round barrier over candidates — the per-epoch barrier exists
+// only to keep observer announcements and stop-condition checks on the
+// coordinating thread.
+//
+// One step() = one *epoch*:
+//   1. every shard drains its transfer mailboxes (raising its clock to the
+//      arrival watermark: a message sent at sender-time t is never processed
+//      at receiver-time < t) and collects its firing set at its local clock;
+//   2. the epoch's firings are announced to observers, in shard id order
+//      then candidate order, on the coordinating thread;
+//   3. active shards are dealt to the worker pool. Workers own shards;
+//      an idle worker steals a whole shard from a victim's deque (classic
+//      owner-pops-front / thief-steals-back discipline, coarsely locked —
+//      the granularity is a whole shard round, so lock traffic is one
+//      acquisition per shard per epoch). Stealing whole shards preserves
+//      per-module transition order by construction: a shard's round is
+//      always executed by exactly one worker, serially.
+//   4. join; aggregate stats; the executor clock becomes the max shard
+//      clock (virtual makespan).
+//
+// Firing traces are deterministic and independent of both the worker count
+// and steal timing: stealing moves a shard between threads, never reorders
+// within a shard, and epoch membership is decided before workers start.
+//
+// Delay clauses use shard-local time. When every shard is idle, lagging
+// clocks are first pulled up to the executor clock (system modules are
+// asynchronous, so advancing an idle shard is always legal) and the epoch is
+// retried; true quiescence additionally consults the global delay wakeup
+// (deadline-clamped, as everywhere).
+//
+// On a specification that ConflictAnalysis does NOT prove conflict-free the
+// pool degrades to one worker: still sharded, still mailbox-routed, but
+// race-free by serialization. RunReport::shards carries per-shard fired /
+// rounds / steals / clock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "estelle/conflict.hpp"
+#include "estelle/executor.hpp"
+#include "estelle/module.hpp"
+
+namespace mcam::estelle {
+
+class ShardedExecutor : public ExecutorBase {
+ public:
+  /// Reads ExecutorConfig::threads (worker count, capped at the shard
+  /// count), sched_per_transition and scan_per_guard (the shard-local cost
+  /// model, same vocabulary as the sequential backend so virtual speedups
+  /// are comparable), and max_steps.
+  explicit ShardedExecutor(Specification& spec, const ExecutorConfig& cfg = {});
+
+  [[nodiscard]] ExecutorKind kind() const noexcept override {
+    return ExecutorKind::Sharded;
+  }
+  [[nodiscard]] int unit_count() const noexcept override { return workers_; }
+
+  /// The analysis driving shard assignment (built on first use).
+  [[nodiscard]] const ConflictAnalysis* analysis() const noexcept {
+    return analysis_.get();
+  }
+
+ private:
+  struct ShardState {
+    SimTime clock{};
+    std::uint64_t fired = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t steals = 0;
+    int owner = 0;  // worker that ran the shard last (steals move it)
+    // Per-epoch scratch, written in phase 1 / by the owning worker only:
+    std::vector<FiringCandidate> candidates;
+    int scan_effort = 0;
+    SimTime epoch_busy{};
+    SimTime epoch_sched{};
+    std::uint64_t epoch_fired = 0;
+  };
+
+  bool step() override;
+  void decorate_report(RunReport& report) override;
+
+  void ensure_analysis();
+  /// Drain + collect for every shard; returns the number of active shards.
+  std::size_t collect_epoch();
+  /// Execute one shard's round (worker context; ShardExecutionScope active).
+  void run_shard_round(ShardState& shard, int shard_id);
+
+  int workers_;
+  SimTime sched_per_transition_;
+  SimTime scan_per_guard_;
+  std::unique_ptr<ConflictAnalysis> analysis_;
+  std::vector<ShardState> shards_;
+};
+
+}  // namespace mcam::estelle

@@ -1,25 +1,12 @@
 #include "estelle/trace.hpp"
 
-#include <atomic>
-
-#include "common/log.hpp"
+#include "common/strf.hpp"
 #include "estelle/module.hpp"
 
 namespace mcam::estelle {
 
-namespace {
-std::atomic<TraceRecorder*> g_recorder{nullptr};
-}  // namespace
-
-void TraceRecorder::install(TraceRecorder* recorder) noexcept {
-  g_recorder.store(recorder);
-}
-
-TraceRecorder* TraceRecorder::current() noexcept { return g_recorder.load(); }
-
-void TraceRecorder::note_fire(const Module& module,
-                              const Transition& transition,
-                              common::SimTime now) {
+void TraceRecorder::on_fire(const Module& module, const Transition& transition,
+                            common::SimTime now) {
   TraceEvent event;
   event.when = now;
   event.module_path = module.path();

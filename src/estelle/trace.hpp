@@ -5,12 +5,16 @@
 // seeing which transitions fired, in what order, with what queue states.
 // TraceRecorder captures exactly that. It is a RunObserver: pass it in
 // RunOptions::observers and every fire event of that run lands in its event
-// list. Deterministic executors ⇒ byte-stable traces, so golden traces make
-// strong regression tests.
+// list — or attach it with Executor::add_run_observer to trace every run of
+// one executor. Deterministic executors ⇒ byte-stable traces, so golden
+// traces make strong regression tests.
 //
 //   TraceRecorder trace;
 //   executor->run({.observers = {&trace}});
 //   EXPECT_EQ(trace.transition_names(), golden);
+//
+// (The old process-global TraceRecorder::install() shim is gone; per-run
+// observers and per-executor add_run_observer cover both of its uses.)
 #pragma once
 
 #include <cstdint>
@@ -33,20 +37,8 @@ struct TraceEvent {
 
 class TraceRecorder : public RunObserver {
  public:
-  /// Deprecated global shim. Installs this recorder as a process-wide
-  /// observer that every executor appends to its per-run chain; passing
-  /// nullptr uninstalls. Prefer RunOptions::observers — the global slot
-  /// exists so pre-Executor call sites (ScopedTrace) keep working.
-  static void install(TraceRecorder* recorder) noexcept;
-  static TraceRecorder* current() noexcept;
-
   void on_fire(const Module& module, const Transition& transition,
-               common::SimTime now) override {
-    note_fire(module, transition, now);
-  }
-
-  void note_fire(const Module& module, const Transition& transition,
-                 common::SimTime now);
+               common::SimTime now) override;
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
     return events_;
@@ -63,20 +55,6 @@ class TraceRecorder : public RunObserver {
  private:
   std::vector<TraceEvent> events_;
   std::uint64_t next_sequence_ = 0;
-};
-
-/// RAII installer for the deprecated global shim.
-class ScopedTrace {
- public:
-  ScopedTrace() { TraceRecorder::install(&recorder_); }
-  ~ScopedTrace() { TraceRecorder::install(nullptr); }
-  ScopedTrace(const ScopedTrace&) = delete;
-  ScopedTrace& operator=(const ScopedTrace&) = delete;
-
-  [[nodiscard]] TraceRecorder& recorder() noexcept { return recorder_; }
-
- private:
-  TraceRecorder recorder_;
 };
 
 }  // namespace mcam::estelle

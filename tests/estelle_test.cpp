@@ -187,6 +187,19 @@ TEST(Channels, LossInjectionDropsDeterministically) {
   EXPECT_GT(dropped, 400u);
   EXPECT_LT(dropped, 600u);
   EXPECT_EQ(b.ip("x").queue_length(), 1000u - dropped);
+
+  // Reusing the IP for an independent measurement run: clear() empties the
+  // queue but keeps history; reset_stats() zeroes the counters so the next
+  // run measures from scratch.
+  b.ip("x").clear();
+  a.ip("x").clear();
+  EXPECT_EQ(a.ip("x").sent(), 1000u);
+  a.ip("x").reset_stats();
+  EXPECT_EQ(a.ip("x").sent(), 0u);
+  EXPECT_EQ(a.ip("x").dropped(), 0u);
+  for (int i = 0; i < 100; ++i) a.ip("x").output(Interaction(i));
+  EXPECT_EQ(a.ip("x").sent(), 100u);
+  EXPECT_EQ(a.ip("x").dropped() + b.ip("x").queue_length(), 100u);
 }
 
 // ---------------------------------------------------------------------------

@@ -6,10 +6,10 @@
 // invariants: fired counts consistent with observed events, monotone
 // virtual time, correct stop reasons, quiescence idempotence.
 //
-// The identical-trace contract is stated for well-formed specifications
-// (conflict-free firing sets — members of one round don't disable each
-// other). The threaded backend does not revalidate within a round, so
-// ill-formed specs may diverge there; see ROADMAP "Open items".
+// The identical-trace contract is stated for conflict-free specifications
+// (see estelle/conflict.hpp). Ill-formed (conflicting) specs are exercised
+// separately in conflict_test.cpp: the threaded backend serializes
+// conflicting candidates with revalidation, so even those no longer diverge.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -258,14 +258,96 @@ TEST(ExecutorConformance, ObserverChainNotifiedInOrderWithLifecycle) {
   EXPECT_EQ(log.back(), "b:end:quiescent");
 }
 
-TEST(ExecutorConformance, LegacyGlobalTraceShimStillObserves) {
+TEST(ExecutorConformance, PersistentRunObserversSeeEveryRun) {
   for (ExecutorKind kind : kAllExecutorKinds) {
     SCOPED_TRACE(executor_kind_name(kind));
     Ring ring(4, /*hops_budget=*/2);
-    ScopedTrace scoped;  // deprecated install() path, no RunOptions observer
-    make_executor(ring.spec, config_for(kind))->run();
-    EXPECT_FALSE(scoped.recorder().events().empty());
+    auto executor = make_executor(ring.spec, config_for(kind));
+
+    // add_run_observer: attached once, observes every subsequent run —
+    // the executor-scoped replacement for the retired install() shim.
+    TraceRecorder trace;
+    executor->add_run_observer(&trace);
+    executor->run();
+    const std::size_t first = trace.size();
+    EXPECT_GT(first, 0u);
+
+    // An observer in both the persistent list and RunOptions::observers is
+    // notified once per event, not twice.
+    Ring ring2(4, /*hops_budget=*/2);
+    auto executor2 = make_executor(ring2.spec, config_for(kind));
+    TraceRecorder both;
+    executor2->add_run_observer(&both);
+    executor2->run({.observers = {&both}});
+    EXPECT_EQ(both.size(), first);
+
+    // remove_run_observer detaches: re-arm the world and run again — the
+    // new firings must not reach the removed observer.
+    executor2->remove_run_observer(&both);
+    ring2.stations.back()->ip("out").output(Interaction(1));
+    executor2->run();
+    EXPECT_EQ(both.size(), first);
   }
+}
+
+TEST(ExecutorConformance, CrossShardSpecTraceEquivalence) {
+  // Two system modules (client/server shards) linked by one channel: a
+  // sender streams tokens to an echo counter across the shard boundary.
+  // Conflict-free, so the deterministic backends must agree on the exact
+  // firing trace even though the sharded backend routes the channel through
+  // the two-phase transfer mailboxes. (ParallelSim is exercised for counts
+  // elsewhere; its announce order follows simulated-engine completion order,
+  // which the identical-trace contract does not cover for multi-candidate
+  // rounds.)
+  const auto run_kind = [](ExecutorKind kind) {
+    Specification spec("xshard");
+    auto& client =
+        spec.root().create_child<Module>("client", Attribute::SystemProcess);
+    auto& server =
+        spec.root().create_child<Module>("server", Attribute::SystemProcess);
+    auto& sender = client.create_child<Module>("sender", Attribute::Process);
+    auto& echo = server.create_child<Module>("echo", Attribute::Process);
+    connect(sender.ip("out"), echo.ip("in"));
+    int sent = 0;
+    sender.trans("send")
+        .cost(SimTime::from_us(5))
+        .provided([&sent](Module&, const Interaction*) { return sent < 6; })
+        .action([&sent, &sender](Module&, const Interaction*) {
+          sender.ip("out").output(Interaction(++sent));
+        });
+    echo.trans("echo").when(echo.ip("in")).cost(SimTime::from_us(3)).action(
+        [](Module&, const Interaction*) {});
+    spec.initialize();
+
+    TraceRecorder trace;
+    auto executor = make_executor(spec, config_for(kind));
+    executor->run({.observers = {&trace}});
+    return trace.transition_names();
+  };
+
+  const auto seq = run_kind(ExecutorKind::Sequential);
+  ASSERT_EQ(seq.size(), 12u);  // 6 sends + 6 echoes
+  EXPECT_EQ(run_kind(ExecutorKind::Threaded), seq);
+  EXPECT_EQ(run_kind(ExecutorKind::Sharded), seq);
+}
+
+TEST(ExecutorConformance, ShardedReportCarriesPerShardStats) {
+  Ring ring(5, /*hops_budget=*/8);
+  auto executor = make_executor(ring.spec, config_for(ExecutorKind::Sharded));
+  const RunReport report = executor->run();
+
+  // One shard (the ring's single system module), with the run's whole
+  // firing count attributed to it.
+  ASSERT_EQ(report.shards.size(), 1u);
+  EXPECT_EQ(report.shards[0].shard, 0);
+  EXPECT_EQ(report.shards[0].system_module, "spec:ring.sys");
+  EXPECT_EQ(report.shards[0].fired, report.fired);
+  EXPECT_GT(report.shards[0].rounds, 0u);
+  EXPECT_EQ(report.shards[0].clock, report.time);
+
+  // Other backends leave the per-shard section empty.
+  Ring ring2(5, /*hops_budget=*/8);
+  EXPECT_TRUE(make_executor(ring2.spec)->run().shards.empty());
 }
 
 }  // namespace

@@ -76,10 +76,14 @@ TEST(SchedStress, LongChainAllSchedulersAgree) {
   const auto thr = run_chain(kCells, kTokens, [](Specification& s) {
     make_executor(s, {.kind = ExecutorKind::Threaded, .threads = 8})->run();
   });
+  const auto shd = run_chain(kCells, kTokens, [](Specification& s) {
+    make_executor(s, {.kind = ExecutorKind::Sharded, .threads = 8})->run();
+  });
   EXPECT_EQ(seq.first, kCells - 1);  // token incremented at every hop
   EXPECT_EQ(seq.second, kCells * kTokens);
   EXPECT_EQ(seq, par);
   EXPECT_EQ(seq, thr);
+  EXPECT_EQ(seq, shd);
 }
 
 TEST(SchedStress, ParallelSimDeterministicAcrossRuns) {
@@ -276,7 +280,7 @@ namespace mcam::estelle {
 namespace {
 
 TEST(Tracing, RecordsFiredTransitionsInOrder) {
-  ScopedTrace trace;
+  TraceRecorder trace;
   Specification spec("traced");
   auto& sys =
       spec.root().create_child<Module>("sys", Attribute::SystemProcess);
@@ -289,20 +293,20 @@ TEST(Tracing, RecordsFiredTransitionsInOrder) {
   b.trans("pong").when(b.ip("in"), 1).action(
       [](Module&, const Interaction*) {});
   spec.initialize();
-  make_executor(spec)->run();
+  make_executor(spec)->run({.observers = {&trace}});
 
-  const auto names = trace.recorder().transition_names();
+  const auto names = trace.transition_names();
   ASSERT_EQ(names.size(), 2u);
   EXPECT_EQ(names[0], "ping");
   EXPECT_EQ(names[1], "pong");
-  EXPECT_EQ(trace.recorder().events()[0].module_path, "spec:traced.sys.a");
-  EXPECT_EQ(trace.recorder().events()[0].to_state, 1);
-  EXPECT_NE(trace.recorder().to_string().find("ping"), std::string::npos);
+  EXPECT_EQ(trace.events()[0].module_path, "spec:traced.sys.a");
+  EXPECT_EQ(trace.events()[0].to_state, 1);
+  EXPECT_NE(trace.to_string().find("ping"), std::string::npos);
 }
 
 TEST(Tracing, DeterministicGoldenTrace) {
   const auto run_traced = [] {
-    ScopedTrace trace;
+    TraceRecorder trace;
     Specification spec("g");
     auto& sys =
         spec.root().create_child<Module>("sys", Attribute::SystemProcess);
@@ -313,8 +317,8 @@ TEST(Tracing, DeterministicGoldenTrace) {
           .to(i + 1)
           .action([](Module&, const Interaction*) {});
     spec.initialize();
-    make_executor(spec)->run();
-    return trace.recorder().to_string();
+    make_executor(spec)->run({.observers = {&trace}});
+    return trace.to_string();
   };
   const std::string golden = run_traced();
   EXPECT_EQ(run_traced(), golden);
@@ -322,8 +326,7 @@ TEST(Tracing, DeterministicGoldenTrace) {
   EXPECT_NE(golden.find("t2"), std::string::npos);
 }
 
-TEST(Tracing, NoRecorderMeansNoOverheadPath) {
-  ASSERT_EQ(TraceRecorder::current(), nullptr);
+TEST(Tracing, NoObserverMeansNoOverheadPath) {
   Specification spec("quiet");
   auto& sys =
       spec.root().create_child<Module>("sys", Attribute::SystemProcess);
