@@ -9,18 +9,25 @@
 // runs them in parallel with per-shard virtual clocks.
 //
 // Part A: the exact Fig. 2 shape (client 1 with two connections, client 2
-// with one) — conflict analysis, per-shard stats, and the virtual-time
-// speedup of the sharded runtime over the sequential baseline. The
-// acceptance line: >= 2x at 4 workers.
+// with one) — conflict analysis, per-shard stats, and the virtual-time AND
+// wall-clock speedup of the sharded runtime over the sequential baseline.
+// The acceptance lines: >= 2x virtual at 4 workers, and wall speedup > 1
+// at 4 workers now that the persistent WorkerPool removed the per-epoch
+// thread-spawn cost that used to dominate small rounds.
 //
 // Part B: the scaled multi-client sweep (8 clients x 2 connections), worker
 // counts 1..8. Virtual completion time is worker-independent (it models the
 // shards' parallel clocks); the sweep shows wall-clock behaviour and the
 // work-stealing counters.
+//
+// The whole result set is also emitted as JSON (argv[1], default
+// bench_sharded_scaling.json) so CI can archive it and future changes can
+// diff the wall-clock trajectory instead of eyeballing stdout.
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ps_workload.hpp"
@@ -119,7 +126,89 @@ Outcome run_world(const std::vector<int>& conns, int requests,
   return out;
 }
 
-void part_a() {
+/// Wall-clock noise control: run `reps` times, keep the best wall time
+/// (virtual time and counters are deterministic, so any rep's report works).
+Outcome run_world_best(const std::vector<int>& conns, int requests,
+                       const estelle::ExecutorConfig& runtime, int reps = 3) {
+  Outcome best = run_world(conns, requests, runtime);
+  for (int r = 1; r < reps; ++r) {
+    Outcome o = run_world(conns, requests, runtime);
+    if (o.wall_ms < best.wall_ms) best = std::move(o);
+  }
+  return best;
+}
+
+unsigned long long total_steals(const Outcome& o) {
+  unsigned long long steals = 0;
+  for (const estelle::ShardRunStats& s : o.report.shards) steals += s.steals;
+  return steals;
+}
+
+/// One configuration's row in the JSON artifact.
+struct JsonRow {
+  int workers = 0;
+  Outcome outcome;
+  double speedup_virtual = 0;
+  double speedup_wall = 0;
+};
+
+std::string json_escapeless_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+std::string section_json(const Outcome& seq, const std::vector<JsonRow>& rows) {
+  std::string out = "{\n    \"sequential\": {\"virtual_ms\": " +
+                    json_escapeless_number(seq.virtual_time.millis()) +
+                    ", \"wall_ms\": " + json_escapeless_number(seq.wall_ms) +
+                    "},\n    \"sharded\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& r = rows[i];
+    out += "      {\"workers\": " + std::to_string(r.workers) +
+           ", \"virtual_ms\": " +
+           json_escapeless_number(r.outcome.virtual_time.millis()) +
+           ", \"wall_ms\": " + json_escapeless_number(r.outcome.wall_ms) +
+           ", \"speedup_virtual\": " +
+           json_escapeless_number(r.speedup_virtual) +
+           ", \"speedup_wall\": " + json_escapeless_number(r.speedup_wall) +
+           ", \"steals\": " + std::to_string(total_steals(r.outcome)) + "}";
+    out += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  out += "    ]\n  }";
+  return out;
+}
+
+std::vector<JsonRow> run_sweep(const std::vector<int>& conns, int requests,
+                               const Outcome& seq,
+                               const std::vector<int>& worker_counts) {
+  std::vector<JsonRow> rows;
+  for (int workers : worker_counts) {
+    JsonRow row;
+    row.workers = workers;
+    row.outcome = run_world_best(
+        conns, requests,
+        {.kind = estelle::ExecutorKind::Sharded, .threads = workers});
+    row.speedup_virtual = static_cast<double>(seq.virtual_time.ns) /
+                          static_cast<double>(row.outcome.virtual_time.ns);
+    row.speedup_wall = seq.wall_ms / row.outcome.wall_ms;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_table(const Outcome& seq, const std::vector<JsonRow>& rows) {
+  std::printf("%14s %14s %9s %12s %9s %8s\n", "runtime", "virtual time",
+              "speedup", "wall", "speedup", "steals");
+  std::printf("%14s %11.3f ms %9s %9.2f ms %9s %8s\n", "sequential",
+              seq.virtual_time.millis(), "1.00x", seq.wall_ms, "1.00x", "-");
+  for (const JsonRow& r : rows)
+    std::printf("%10d wkr %11.3f ms %8.2fx %9.2f ms %8.2fx %8llu\n",
+                r.workers, r.outcome.virtual_time.millis(), r.speedup_virtual,
+                r.outcome.wall_ms, r.speedup_wall, total_steals(r.outcome));
+}
+
+std::string part_a() {
   const std::vector<int> kFig2Conns = {2, 1};
   const int kRequests = 200;
 
@@ -130,74 +219,72 @@ void part_a() {
     std::printf("%s\n", analysis.to_string().c_str());
   }
 
-  const Outcome seq = run_world(kFig2Conns, kRequests, {});
-  std::printf("%14s %14s %9s\n", "runtime", "virtual time", "speedup");
-  std::printf("%14s %11.3f ms %9s\n", "sequential", seq.virtual_time.millis(),
-              "1.00x");
-  double speedup_at_4 = 0;
-  for (int workers : {1, 2, 4}) {
-    const Outcome shd = run_world(
-        kFig2Conns, kRequests,
-        {.kind = estelle::ExecutorKind::Sharded, .threads = workers});
-    const double speedup = static_cast<double>(seq.virtual_time.ns) /
-                           static_cast<double>(shd.virtual_time.ns);
-    if (workers == 4) speedup_at_4 = speedup;
-    std::printf("%10d wkr %11.3f ms %8.2fx\n", workers,
-                shd.virtual_time.millis(), speedup);
-    if (workers == 4) {
-      std::printf("\nper-shard stats at 4 workers:\n");
-      std::printf("  %-28s %8s %8s %8s %12s\n", "shard (system module)",
-                  "fired", "rounds", "steals", "clock");
-      for (const estelle::ShardRunStats& s : shd.report.shards)
-        std::printf("  %-28s %8llu %8llu %8llu %9.3f ms\n",
-                    s.system_module.c_str(),
-                    static_cast<unsigned long long>(s.fired),
-                    static_cast<unsigned long long>(s.rounds),
-                    static_cast<unsigned long long>(s.steals),
-                    s.clock.millis());
-    }
-  }
+  const Outcome seq = run_world_best(kFig2Conns, kRequests, {});
+  const std::vector<JsonRow> rows = run_sweep(kFig2Conns, kRequests, seq,
+                                              {1, 2, 4});
+  print_table(seq, rows);
+
+  const JsonRow& at4 = rows.back();
+  std::printf("\nper-shard stats at 4 workers:\n");
+  std::printf("  %-28s %8s %8s %8s %12s\n", "shard (system module)", "fired",
+              "rounds", "steals", "clock");
+  for (const estelle::ShardRunStats& s : at4.outcome.report.shards)
+    std::printf("  %-28s %8llu %8llu %8llu %9.3f ms\n",
+                s.system_module.c_str(),
+                static_cast<unsigned long long>(s.fired),
+                static_cast<unsigned long long>(s.rounds),
+                static_cast<unsigned long long>(s.steals), s.clock.millis());
+
   std::printf(
-      "\nacceptance: sharded @ 4 workers is %.2fx over sequential (%s 2x "
-      "target)\n\n",
-      speedup_at_4, speedup_at_4 >= 2.0 ? "meets" : "MISSES");
+      "\nacceptance: sharded @ 4 workers is %.2fx virtual (%s 2x target), "
+      "%.2fx wall (%s >1x target)\n(wall numbers are hardware-dependent: "
+      "this host reports %u cores)\n\n",
+      at4.speedup_virtual, at4.speedup_virtual >= 2.0 ? "meets" : "MISSES",
+      at4.speedup_wall, at4.speedup_wall > 1.0 ? "meets" : "MISSES",
+      std::thread::hardware_concurrency());
+  return section_json(seq, rows);
 }
 
-void part_b() {
+std::string part_b() {
   std::printf(
       "== part B: multi-client sweep (8 clients x 2 connections, 24 "
       "shards) ==\n\n");
   const std::vector<int> conns(8, 2);
   const int kRequests = 200;
 
-  const Outcome seq = run_world(conns, kRequests, {});
-  std::printf("%14s %14s %9s %12s %8s\n", "runtime", "virtual time",
-              "speedup", "wall", "steals");
-  std::printf("%14s %11.3f ms %9s %9.2f ms %8s\n", "sequential",
-              seq.virtual_time.millis(), "1.00x", seq.wall_ms, "-");
-  for (int workers : {1, 2, 4, 8}) {
-    const Outcome shd = run_world(
-        conns, kRequests,
-        {.kind = estelle::ExecutorKind::Sharded, .threads = workers});
-    unsigned long long steals = 0;
-    for (const estelle::ShardRunStats& s : shd.report.shards)
-      steals += s.steals;
-    std::printf("%10d wkr %11.3f ms %8.2fx %9.2f ms %8llu\n", workers,
-                shd.virtual_time.millis(),
-                static_cast<double>(seq.virtual_time.ns) /
-                    static_cast<double>(shd.virtual_time.ns),
-                shd.wall_ms, steals);
-  }
+  const Outcome seq = run_world_best(conns, kRequests, {});
+  const std::vector<JsonRow> rows = run_sweep(conns, kRequests, seq,
+                                              {1, 2, 4, 8});
+  print_table(seq, rows);
   std::printf(
       "\npaper reference: server entities run simultaneously on the KSR1;\n"
       "virtual completion time models the shards' parallel clocks (worker-\n"
       "independent); client workstations (uniprocessor shards) bound it.\n");
+  return section_json(seq, rows);
 }
 
 }  // namespace
 
-int main() {
-  part_a();
-  part_b();
+int main(int argc, char** argv) {
+  const std::string fig2 = part_a();
+  const std::string sweep = part_b();
+
+  const char* json_path =
+      argc > 1 ? argv[1] : "bench_sharded_scaling.json";
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f,
+                 "{\n  \"benchmark\": \"bench_sharded_scaling\",\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"requests\": 200,\n"
+                 "  \"fig2\": %s,\n"
+                 "  \"sweep\": %s\n}\n",
+                 std::thread::hardware_concurrency(), fig2.c_str(),
+                 sweep.c_str());
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", json_path);
+    return 1;
+  }
   return 0;
 }

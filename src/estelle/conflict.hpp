@@ -22,10 +22,10 @@
 //         sender mutates it at output() time, outside any commit phase —
 //         a real data race under any real-thread backend).
 //     A specification with no conflicts is *conflict-free*: every backend
-//     is obligated to produce the identical firing trace on it. (For the
-//     sharded backend's *announced* trace this additionally assumes rounds
-//     are well-formed within each shard — see shard_executor.cpp; the world
-//     state matches regardless.)
+//     is obligated to produce the identical firing trace on it. (The sharded
+//     backend announces after revalidation — see shard_executor.hpp — so its
+//     announced trace matches even on specs that are ill-formed *within* one
+//     shard.)
 //   * per-transition conflict sets at channel/Rng granularity, collapsed to
 //     a per-module signature. ThreadedScheduler uses them to decide which
 //     same-round candidates may fire concurrently: candidates of modules

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include <thread>
+
 #include "estelle/module.hpp"
 #include "estelle/sched.hpp"
 #include "estelle/shard_executor.hpp"
@@ -77,6 +79,12 @@ const char* executor_kind_name(ExecutorKind k) noexcept {
 bool executor_kind_from_name(const std::string& name,
                              ExecutorKind* out) noexcept {
   return ExecutorFactory::instance().kind_by_name(name, out);
+}
+
+int resolve_worker_count(int requested) noexcept {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
 const char* stop_reason_name(StopReason r) noexcept {
@@ -185,6 +193,8 @@ class ExecutorBase::Chain final : public RunObserver {
     for (RunObserver* o : observers_) o->on_run_end(ex, report);
   }
 
+  [[nodiscard]] bool empty() const noexcept { return observers_.empty(); }
+
  private:
   std::vector<RunObserver*> observers_;
 };
@@ -200,7 +210,11 @@ RunReport ExecutorBase::run(const RunOptions& opts) {
     RunObserver* prev;
     ~ChainScope() { self.chain_ = prev; }
   } scope{*this, chain_};
-  chain_ = &chain;
+  // An empty chain is not installed at all: backends test observer() to
+  // decide whether to do per-firing announcement work, and a no-observer
+  // run should pay none of it. The local `chain` still delivers the
+  // lifecycle hooks below (harmless no-ops when empty).
+  chain_ = chain.empty() ? nullptr : &chain;
 
   // Firings of reentrant inner run() calls are attributed to those runs'
   // reports, not this one's (`fired` means "fired in this run").
@@ -221,6 +235,16 @@ RunReport ExecutorBase::run(const RunOptions& opts) {
     SimTime prev;
     ~DeadlineScope() { self.run_deadline_ = prev; }
   } deadline_scope{*this, prev_deadline};
+
+  // Per-run worker-count override (saved/restored for reentrancy; backends
+  // read it via requested_worker_count() when sizing their pool).
+  const int prev_workers = run_worker_count_;
+  run_worker_count_ = opts.worker_count;
+  struct WorkerScope {
+    ExecutorBase& self;
+    int prev;
+    ~WorkerScope() { self.run_worker_count_ = prev; }
+  } worker_scope{*this, prev_workers};
 
   const auto make_report = [&](StopReason reason, std::uint64_t steps) {
     finalize_stats();

@@ -20,9 +20,11 @@
 //                   run, and the executor-lifetime SchedulerStats.
 //
 // Observer contract: all RunObserver callbacks are invoked on the thread that
-// called run(), even under the real-thread backends (which announce a round's
-// firing set before their workers execute it). Observers therefore need no
-// internal locking.
+// called run(), even under the real-thread backends — Threaded announces a
+// round's firing set before its workers execute it; Sharded replays each
+// epoch's revalidated firings after the epoch barrier
+// (announce-after-revalidation, see shard_executor.hpp). Observers therefore
+// need no internal locking.
 #pragma once
 
 #include <any>
@@ -178,8 +180,11 @@ class RunObserver {
  public:
   virtual ~RunObserver() = default;
   virtual void on_run_begin(Executor& /*executor*/) {}
-  /// Announced before the transition's action executes, so `module.state()`
-  /// is still the from-state. Do not reentrantly run() the executor from
+  /// Announced before the transition's action executes under every backend
+  /// except Sharded, so `module.state()` is normally still the from-state
+  /// (the sharded backend replays firings after its epoch barrier — the
+  /// transition/timestamp arguments are exact, but the module may already
+  /// show the post-round state). Do not reentrantly run() the executor from
   /// here — the announced firing is still in flight; reentry is safe only
   /// from between-round hooks (stop predicates, on_round_end).
   virtual void on_fire(const Module& /*module*/,
@@ -203,7 +208,19 @@ struct RunOptions {
   /// Observers for this run, notified in order. Not owned; must outlive the
   /// run() call.
   std::vector<RunObserver*> observers;
+  /// Worker-thread count for this run under the real-thread backends
+  /// (Threaded, Sharded). 0 ⇒ keep the executor's configured count
+  /// (ExecutorConfig::threads, itself defaulting to hardware_concurrency()).
+  /// The backends keep one persistent WorkerPool across run() calls and
+  /// resize it only when this asks for a different width; backends without
+  /// real threads ignore the field.
+  int worker_count = 0;
 };
+
+/// Effective worker count for a requested width: `requested` if positive,
+/// otherwise max(1, std::thread::hardware_concurrency()). The single
+/// interpretation of ExecutorConfig::threads and RunOptions::worker_count.
+[[nodiscard]] int resolve_worker_count(int requested) noexcept;
 
 /// Per-shard execution statistics, reported by ExecutorKind::Sharded
 /// (empty under other backends). Counters are executor-lifetime, like
@@ -323,8 +340,22 @@ class ExecutorBase : public Executor {
   /// world is quiescent).
   bool advance_to_wakeup();
   /// The observer chain of the active run (persistent run_observers() first,
-  /// then the run's RunOptions::observers); null outside run().
+  /// then the run's RunOptions::observers); null outside run() AND null when
+  /// the active run has no observers at all, so backends can skip
+  /// announcement bookkeeping entirely on unobserved runs.
   [[nodiscard]] RunObserver* observer() noexcept { return chain_; }
+  /// RunOptions::worker_count of the active run (0 when unset / outside a
+  /// run). Real-thread backends consult this when sizing their pool.
+  [[nodiscard]] int requested_worker_count() const noexcept {
+    return run_worker_count_;
+  }
+  /// The pool width a real-thread backend should use right now: the active
+  /// run's worker_count override if set, else the backend's configured
+  /// width resolved through resolve_worker_count().
+  [[nodiscard]] int effective_worker_width(int configured) const noexcept {
+    return run_worker_count_ > 0 ? run_worker_count_
+                                 : resolve_worker_count(configured);
+  }
 
   Specification& spec_;
   SimTime now_{};
@@ -340,6 +371,8 @@ class ExecutorBase : public Executor {
   /// Earliest StopCondition::deadline() of the active run (SimTime max when
   /// none); bounds idle clock jumps in advance_to_wakeup().
   SimTime run_deadline_{std::numeric_limits<std::int64_t>::max()};
+  /// RunOptions::worker_count of the active run (see requested_worker_count).
+  int run_worker_count_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -362,10 +395,12 @@ struct ExecutorConfig {
   Mapping mapping = Mapping::ThreadPerModule;
   sim::CostModel costs{};
 
-  // Real-thread backends (Threaded, Sharded): worker count. The sharded
-  // backend caps its pool at the shard count (stealing whole shards, extra
-  // workers could never be busy).
-  int threads = 2;
+  // Real-thread backends (Threaded, Sharded): worker count of the
+  // persistent pool. 0 ⇒ hardware_concurrency() (see resolve_worker_count).
+  // The sharded backend caps its pool at the shard count (stealing whole
+  // shards, extra workers could never be busy). RunOptions::worker_count
+  // overrides this per run.
+  int threads = 0;
 
   /// Escape hatch for backends registered out of tree: their creator reads
   /// whatever typed options it expects from here, so new runtimes get

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <optional>
-#include <thread>
 
 namespace mcam::estelle {
 
@@ -211,6 +210,17 @@ ThreadedScheduler::ThreadedScheduler(Specification& spec,
                                      const ExecutorConfig& cfg)
     : ExecutorBase(spec, cfg.max_steps), threads_(cfg.threads) {}
 
+int ThreadedScheduler::unit_count() const noexcept {
+  return pool_ ? pool_->worker_count() : resolve_worker_count(threads_);
+}
+
+WorkerPool& ThreadedScheduler::ensure_pool() {
+  const int want = effective_worker_width(threads_);
+  if (!pool_ || pool_->worker_count() != want)
+    pool_ = std::make_unique<WorkerPool>(want);
+  return *pool_;
+}
+
 bool ThreadedScheduler::step() {
   if (!analysis_)
     analysis_ = std::make_unique<ConflictAnalysis>(spec_);
@@ -264,27 +274,34 @@ bool ThreadedScheduler::step() {
     ++fired;
   }
 
-  // Execute the independent candidates in parallel; outputs captured per
-  // candidate and committed afterwards in candidate order (deterministic).
+  // Execute the independent candidates on the persistent pool (no thread
+  // construction here — workers are parked between rounds); outputs captured
+  // per candidate and committed after the epoch barrier in candidate order
+  // (deterministic). At width 1 (or a single candidate) the round runs
+  // inline instead: with one executor there is nothing to race with, and
+  // independent candidates touch disjoint channels, so immediate delivery
+  // is indistinguishable from capture-and-commit — and the park/unpark
+  // round-trip matters on small hosts where the default width resolves
+  // to 1.
   const std::size_t p = parallel.size();
   if (p > 0) {
-    std::vector<OutputCapture> captures(p);
-    const int nthreads =
-        std::max(1, std::min<int>(threads_, static_cast<int>(p)));
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(nthreads));
-    for (int w = 0; w < nthreads; ++w) {
-      workers.emplace_back([&, w] {
-        for (std::size_t k = static_cast<std::size_t>(w); k < p;
-             k += static_cast<std::size_t>(nthreads)) {
-          captures[k].begin();
-          fire(candidates[parallel[k]], fire_time);
-          captures[k].end();
-        }
-      });
+    if (p == 1 || effective_worker_width(threads_) < 2) {
+      for (std::size_t k : parallel) fire(candidates[k], fire_time);
+    } else {
+      std::vector<OutputCapture> captures(p);
+      WorkerPool& pool = ensure_pool();
+      const int nworkers = pool.worker_count();
+      for (std::size_t k = 0; k < p; ++k) {
+        pool.submit(static_cast<int>(k % static_cast<std::size_t>(nworkers)),
+                    [&captures, &candidates, &parallel, k, fire_time](int) {
+                      captures[k].begin();
+                      fire(candidates[parallel[k]], fire_time);
+                      captures[k].end();
+                    });
+      }
+      pool.run_epoch();
+      for (auto& cap : captures) cap.commit();
     }
-    for (auto& t : workers) t.join();
-    for (auto& cap : captures) cap.commit();
     fired += p;
   }
 

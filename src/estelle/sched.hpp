@@ -33,6 +33,7 @@
 #include "estelle/conflict.hpp"
 #include "estelle/executor.hpp"
 #include "estelle/module.hpp"
+#include "estelle/worker_pool.hpp"
 #include "sim/engine.hpp"
 
 namespace mcam::estelle {
@@ -110,11 +111,17 @@ class ParallelSimScheduler : public ExecutorBase {
 /// thread, in candidate order, each revalidated with is_fireable() and
 /// delivered immediately: exactly the sequential scheduler's discipline, so
 /// ill-formed (conflicting) specifications no longer race or diverge.
-/// Independent candidates execute on `threads` std::threads with outputs
-/// captured per candidate and committed in candidate order after the join.
-/// Observers see every firing in candidate order, announced on the
+/// Independent candidates execute on a persistent WorkerPool (worker_pool.hpp
+/// — no std::thread construction in the round hot loop) with outputs
+/// captured per candidate and committed in candidate order after the epoch
+/// barrier. Observers see every firing in candidate order, announced on the
 /// coordinating thread before the action executes (see the observer contract
 /// in executor.hpp).
+///
+/// The pool width is ExecutorConfig::threads (0 ⇒ hardware_concurrency()),
+/// overridable per run with RunOptions::worker_count; the pool is built on
+/// the first parallel round and reused across rounds and run() calls,
+/// resizing only when a run asks for a different width.
 class ThreadedScheduler : public ExecutorBase {
  public:
   explicit ThreadedScheduler(Specification& spec,
@@ -123,12 +130,19 @@ class ThreadedScheduler : public ExecutorBase {
   [[nodiscard]] ExecutorKind kind() const noexcept override {
     return ExecutorKind::Threaded;
   }
-  [[nodiscard]] int unit_count() const noexcept override { return threads_; }
+  [[nodiscard]] int unit_count() const noexcept override;
+
+  /// The persistent pool (null until the first parallel round).
+  [[nodiscard]] const WorkerPool* pool() const noexcept { return pool_.get(); }
 
  private:
   bool step() override;
+  /// The pool at this round's effective width (RunOptions::worker_count when
+  /// set, else the configured count).
+  WorkerPool& ensure_pool();
 
-  int threads_;
+  int threads_;  // configured width; 0 ⇒ hardware_concurrency()
+  std::unique_ptr<WorkerPool> pool_;
   /// Built lazily on the first round (the constructor may precede
   /// Specification::initialize() in principle; rounds cannot).
   std::unique_ptr<ConflictAnalysis> analysis_;

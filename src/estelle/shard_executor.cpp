@@ -1,9 +1,6 @@
 #include "estelle/shard_executor.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <mutex>
-#include <thread>
 
 #include "estelle/sched.hpp"
 
@@ -12,9 +9,17 @@ namespace mcam::estelle {
 ShardedExecutor::ShardedExecutor(Specification& spec,
                                  const ExecutorConfig& cfg)
     : ExecutorBase(spec, cfg.max_steps),
-      workers_(std::max(1, cfg.threads)),
+      workers_(cfg.threads),
       sched_per_transition_(cfg.sched_per_transition),
       scan_per_guard_(cfg.scan_per_guard) {}
+
+int ShardedExecutor::unit_count() const noexcept {
+  if (pool_) return pool_->worker_count();
+  // Apply the shard-count cap as soon as the analysis exists, so the value
+  // is stable from the first round on (before any analysis it can only
+  // report the uncapped width).
+  return analysis_ ? effective_workers() : resolve_worker_count(workers_);
+}
 
 void ShardedExecutor::ensure_analysis() {
   if (!analysis_) {
@@ -23,10 +28,24 @@ void ShardedExecutor::ensure_analysis() {
     // sized exactly once; refreshes change subtree membership only.
     shards_.resize(static_cast<std::size_t>(analysis_->shard_count()));
     for (std::size_t s = 0; s < shards_.size(); ++s)
-      shards_[s].owner = static_cast<int>(s) % workers_;
+      shards_[s].owner = static_cast<int>(s);
   } else {
     analysis_->refresh();
   }
+}
+
+int ShardedExecutor::effective_workers() const noexcept {
+  // Stealing moves whole shards, so workers beyond the shard count could
+  // never be busy — cap the width there.
+  return std::clamp(effective_worker_width(workers_), 1,
+                    std::max(1, analysis_->shard_count()));
+}
+
+WorkerPool& ShardedExecutor::ensure_pool() {
+  const int want = effective_workers();
+  if (!pool_ || pool_->worker_count() != want)
+    pool_ = std::make_unique<WorkerPool>(want);
+  return *pool_;
 }
 
 std::size_t ShardedExecutor::collect_epoch() {
@@ -83,7 +102,11 @@ void ShardedExecutor::run_shard_round(ShardState& shard, int shard_id) {
     shard.epoch_sched += sched_per_transition_;
     shard.clock += c.transition->cost;
     shard.epoch_busy += c.transition->cost;
-    fire(c, shard.clock, nullptr);  // announced already, on the run thread
+    // Log what actually fires, at its actual fire time; the coordinating
+    // thread replays the log to observers after the epoch barrier
+    // (announce-after-revalidation). Unobserved runs skip the bookkeeping.
+    if (announce_) shard.fired_log.push_back({c, shard.clock});
+    fire(c, shard.clock, nullptr);
     ++shard.epoch_fired;
   }
   ++shard.rounds;
@@ -93,6 +116,10 @@ void ShardedExecutor::run_shard_round(ShardState& shard, int shard_id) {
 
 bool ShardedExecutor::step() {
   ensure_analysis();
+  // Whether this epoch's rounds must log their firings for the post-barrier
+  // replay (written here on the run thread, read by workers after the pool
+  // mutex's happens-before edge).
+  announce_ = observer() != nullptr;
 
   // collect_epoch keeps idle shards synced to now_, so when nothing is
   // active every state-entry stamp is <= now_ and the global wakeup scan
@@ -105,82 +132,51 @@ bool ShardedExecutor::step() {
     return true;
   }
 
-  // Announce the epoch's firing set on this thread, shard id order then
-  // candidate order, before any worker runs (observer contract). Caveat:
-  // announcement precedes worker-side revalidation, so on a spec that is
-  // ill-formed *within* one shard (a same-shard firing disabling a
-  // same-round sibling) the announced trace can include candidates the
-  // round then skips — unlike Sequential/Threaded, which announce only
-  // actual firings. The identical-trace obligation for this backend
-  // therefore additionally assumes shard rounds are internally well-formed;
-  // the world state still matches (revalidation skips the firing itself).
-  // ROADMAP tracks announce-after-revalidation as the follow-up.
-  if (RunObserver* obs = observer()) {
-    for (const ShardState& shard : shards_)
-      for (const FiringCandidate& c : shard.candidates)
-        obs->on_fire(*c.module, *c.transition, shard.clock);
-  }
-
-  // Deal active shards to the workers' deques by current ownership, then
-  // let the pool run. A specification with statically detected conflicts
-  // degrades to one worker: still sharded and mailbox-routed, but
-  // serialized, hence race-free whatever the spec does.
+  // Deal active shards to the persistent pool by current ownership, then
+  // release the epoch (no thread construction here — the pool's workers are
+  // parked between epochs). A specification with statically detected
+  // conflicts, or an epoch with a single active shard, runs inline on this
+  // thread: still sharded and mailbox-routed, but serialized, hence
+  // race-free whatever the spec does.
   std::vector<int> active_ids;
   active_ids.reserve(active);
   for (std::size_t s = 0; s < shards_.size(); ++s)
     if (!shards_[s].candidates.empty()) active_ids.push_back(static_cast<int>(s));
 
-  const int pool = analysis_->conflict_free()
-                       ? std::min<int>(workers_, static_cast<int>(active))
-                       : 1;
-  if (pool <= 1) {
-    for (int s : active_ids) run_shard_round(shards_[static_cast<std::size_t>(s)], s);
-  } else {
-    std::mutex mu;  // guards all deques; one acquisition per shard round
-    std::vector<std::deque<int>> queues(static_cast<std::size_t>(pool));
+  // A width-1 epoch runs inline: a single worker adds nothing but a
+  // park/unpark round-trip per epoch (it matters on small hosts, where the
+  // default width resolves to 1).
+  if (!analysis_->conflict_free() || active < 2 ||
+      effective_workers() < 2) {
     for (int s : active_ids)
-      queues[static_cast<std::size_t>(shards_[static_cast<std::size_t>(s)].owner %
-                                      pool)]
-          .push_back(s);
-
-    auto next_shard = [&](int w) -> int {
-      std::lock_guard<std::mutex> lock(mu);
-      auto& own = queues[static_cast<std::size_t>(w)];
-      if (!own.empty()) {
-        const int s = own.front();
-        own.pop_front();
-        return s;
-      }
-      // Steal a whole shard from the back of the fullest victim deque.
-      int victim = -1;
-      std::size_t best = 0;
-      for (int v = 0; v < pool; ++v) {
-        const std::size_t len = queues[static_cast<std::size_t>(v)].size();
-        if (v != w && len > best) {
-          best = len;
-          victim = v;
-        }
-      }
-      if (victim < 0) return -1;
-      auto& q = queues[static_cast<std::size_t>(victim)];
-      const int s = q.back();
-      q.pop_back();
+      run_shard_round(shards_[static_cast<std::size_t>(s)], s);
+  } else {
+    WorkerPool& pool = ensure_pool();
+    const int nworkers = pool.worker_count();
+    for (int s : active_ids) {
       ShardState& shard = shards_[static_cast<std::size_t>(s)];
-      ++shard.steals;
-      shard.owner = w;  // ownership follows the thief across epochs
-      return s;
-    };
-
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(pool));
-    for (int w = 0; w < pool; ++w) {
-      threads.emplace_back([&, w] {
-        for (int s = next_shard(w); s >= 0; s = next_shard(w))
-          run_shard_round(shards_[static_cast<std::size_t>(s)], s);
+      const int home = shard.owner % nworkers;
+      pool.submit(home, [this, &shard, s, home](int w) {
+        if (w != home) ++shard.steals;
+        shard.owner = w;  // ownership follows the thief across epochs
+        run_shard_round(shard, s);
       });
     }
-    for (std::thread& t : threads) t.join();
+    pool.run_epoch();
   }
+
+  // Announce-after-revalidation: replay each shard's log of *actual*
+  // firings to observers, on this thread, in shard id order then firing
+  // order. Only revalidated firings are announced (at their true shard-clock
+  // times), so the announced trace matches the sequential scheduler even on
+  // specifications that are ill-formed within one shard. See the header
+  // comment for the on_fire timing caveat this introduces.
+  if (RunObserver* obs = observer()) {
+    for (const ShardState& shard : shards_)
+      for (const FiredEvent& e : shard.fired_log)
+        obs->on_fire(*e.candidate.module, *e.candidate.transition, e.at);
+  }
+  for (ShardState& shard : shards_) shard.fired_log.clear();
 
   // Aggregate the epoch into the executor-lifetime counters; the executor
   // clock is the virtual makespan over shard clocks.

@@ -14,17 +14,27 @@
 //   1. every shard drains its transfer mailboxes (raising its clock to the
 //      arrival watermark: a message sent at sender-time t is never processed
 //      at receiver-time < t) and collects its firing set at its local clock;
-//   2. the epoch's firings are announced to observers, in shard id order
-//      then candidate order, on the coordinating thread;
-//   3. active shards are dealt to the worker pool. Workers own shards;
-//      an idle worker steals a whole shard from a victim's deque (classic
-//      owner-pops-front / thief-steals-back discipline, coarsely locked —
-//      the granularity is a whole shard round, so lock traffic is one
-//      acquisition per shard per epoch). Stealing whole shards preserves
-//      per-module transition order by construction: a shard's round is
-//      always executed by exactly one worker, serially.
-//   4. join; aggregate stats; the executor clock becomes the max shard
-//      clock (virtual makespan).
+//   2. active shards are dealt to the persistent WorkerPool
+//      (worker_pool.hpp). Workers own shards; an idle worker steals a whole
+//      shard from the back of a victim's deque. Stealing whole shards
+//      preserves per-module transition order by construction: a shard's
+//      round is always executed by exactly one worker, serially. The pool
+//      is built once (capped at the shard count) and reused across epochs
+//      and run() calls — no thread is constructed inside step().
+//   3. each shard's round revalidates every candidate with is_fireable()
+//      (the sequential discipline: an earlier same-round firing may have
+//      consumed state) and logs what actually fired, at its actual
+//      shard-clock fire time;
+//   4. epoch barrier; the *revalidated* firings are announced to observers
+//      on the coordinating thread, in shard id order then firing order
+//      (announce-after-revalidation). The announced trace therefore matches
+//      the sequential scheduler even on specifications that are ill-formed
+//      within one shard. The price: under this backend on_fire is delivered
+//      after the round executed, so Module::state() seen from the hook is
+//      the post-round state, not the from-state (trace recorders that only
+//      read the transition and timestamp are unaffected);
+//   5. aggregate stats; the executor clock becomes the max shard clock
+//      (virtual makespan).
 //
 // Firing traces are deterministic and independent of both the worker count
 // and steal timing: stealing moves a shard between threads, never reorders
@@ -49,28 +59,40 @@
 #include "estelle/conflict.hpp"
 #include "estelle/executor.hpp"
 #include "estelle/module.hpp"
+#include "estelle/worker_pool.hpp"
 
 namespace mcam::estelle {
 
 class ShardedExecutor : public ExecutorBase {
  public:
-  /// Reads ExecutorConfig::threads (worker count, capped at the shard
-  /// count), sched_per_transition and scan_per_guard (the shard-local cost
-  /// model, same vocabulary as the sequential backend so virtual speedups
-  /// are comparable), and max_steps.
+  /// Reads ExecutorConfig::threads (pool width, 0 ⇒ hardware_concurrency(),
+  /// capped at the shard count; RunOptions::worker_count overrides per run),
+  /// sched_per_transition and scan_per_guard (the shard-local cost model,
+  /// same vocabulary as the sequential backend so virtual speedups are
+  /// comparable), and max_steps.
   explicit ShardedExecutor(Specification& spec, const ExecutorConfig& cfg = {});
 
   [[nodiscard]] ExecutorKind kind() const noexcept override {
     return ExecutorKind::Sharded;
   }
-  [[nodiscard]] int unit_count() const noexcept override { return workers_; }
+  [[nodiscard]] int unit_count() const noexcept override;
 
   /// The analysis driving shard assignment (built on first use).
   [[nodiscard]] const ConflictAnalysis* analysis() const noexcept {
     return analysis_.get();
   }
+  /// The persistent pool (null until the first parallel epoch).
+  [[nodiscard]] const WorkerPool* pool() const noexcept { return pool_.get(); }
 
  private:
+  /// One revalidated firing of a shard round, logged by the executing worker
+  /// and replayed to observers on the coordinating thread after the epoch
+  /// barrier (announce-after-revalidation).
+  struct FiredEvent {
+    FiringCandidate candidate;
+    SimTime at{};
+  };
+
   struct ShardState {
     SimTime clock{};
     std::uint64_t fired = 0;
@@ -79,6 +101,7 @@ class ShardedExecutor : public ExecutorBase {
     int owner = 0;  // worker that ran the shard last (steals move it)
     // Per-epoch scratch, written in phase 1 / by the owning worker only:
     std::vector<FiringCandidate> candidates;
+    std::vector<FiredEvent> fired_log;
     int scan_effort = 0;
     SimTime epoch_busy{};
     SimTime epoch_sched{};
@@ -89,15 +112,24 @@ class ShardedExecutor : public ExecutorBase {
   void decorate_report(RunReport& report) override;
 
   void ensure_analysis();
+  /// This run's effective pool width: RunOptions::worker_count when set,
+  /// else the configured count, capped at the shard count (min 1).
+  [[nodiscard]] int effective_workers() const noexcept;
+  /// The pool at this run's effective width.
+  WorkerPool& ensure_pool();
   /// Drain + collect for every shard; returns the number of active shards.
   std::size_t collect_epoch();
   /// Execute one shard's round (worker context; ShardExecutionScope active).
   void run_shard_round(ShardState& shard, int shard_id);
 
-  int workers_;
+  int workers_;  // configured width; 0 ⇒ hardware_concurrency()
+  /// True while the active run has observers: shard rounds then log their
+  /// firings for the post-barrier replay. Set per epoch on the run thread.
+  bool announce_ = false;
   SimTime sched_per_transition_;
   SimTime scan_per_guard_;
   std::unique_ptr<ConflictAnalysis> analysis_;
+  std::unique_ptr<WorkerPool> pool_;
   std::vector<ShardState> shards_;
 };
 

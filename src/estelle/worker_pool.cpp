@@ -1,0 +1,103 @@
+#include "estelle/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace mcam::estelle {
+
+WorkerPool::WorkerPool(int workers) {
+  const int n = std::max(1, workers);
+  queues_.resize(static_cast<std::size_t>(n));
+  stats_.resize(static_cast<std::size_t>(n));
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w)
+    threads_.emplace_back([this, w] { worker_main(w); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::submit(int worker, Task task) {
+  const auto slot = static_cast<std::size_t>(worker % worker_count());
+  std::lock_guard<std::mutex> lock(mu_);
+  queues_[slot].push_back(std::move(task));
+}
+
+std::size_t WorkerPool::run_epoch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::size_t queued = 0;
+  for (const auto& q : queues_) queued += q.size();
+  if (queued == 0) return 0;  // don't wake anyone for an empty epoch
+  outstanding_ = queued;
+  ++epoch_;
+  ++epochs_run_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  return queued;
+}
+
+std::uint64_t WorkerPool::epochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epochs_run_;
+}
+
+std::size_t WorkerPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t queued = 0;
+  for (const auto& q : queues_) queued += q.size();
+  return queued;
+}
+
+std::vector<WorkerPool::WorkerStats> WorkerPool::worker_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void WorkerPool::worker_main(int w) {
+  const auto self = static_cast<std::size_t>(w);
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    while (outstanding_ > 0) {
+      Task task;
+      bool stolen = false;
+      if (!queues_[self].empty()) {
+        task = std::move(queues_[self].front());
+        queues_[self].pop_front();
+      } else {
+        // Steal from the back of the fullest victim deque; if every deque is
+        // empty the epoch's remaining tasks are in flight on other workers —
+        // park until the next epoch.
+        std::size_t victim = self;
+        std::size_t best = 0;
+        for (std::size_t v = 0; v < queues_.size(); ++v) {
+          if (v != self && queues_[v].size() > best) {
+            best = queues_[v].size();
+            victim = v;
+          }
+        }
+        if (victim == self) break;
+        task = std::move(queues_[victim].back());
+        queues_[victim].pop_back();
+        stolen = true;
+      }
+      lock.unlock();
+      task(w);
+      task = nullptr;  // destroy captures outside the epoch-completion edge
+      lock.lock();
+      ++stats_[self].executed;
+      if (stolen) ++stats_[self].stolen;
+      if (--outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace mcam::estelle

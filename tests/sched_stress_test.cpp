@@ -3,6 +3,9 @@
 // capture, and misc runtime invariants not covered by estelle_test.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "asn1/value.hpp"
 #include "estelle/module.hpp"
 #include "estelle/executor.hpp"
@@ -84,6 +87,40 @@ TEST(SchedStress, LongChainAllSchedulersAgree) {
   EXPECT_EQ(seq, par);
   EXPECT_EQ(seq, thr);
   EXPECT_EQ(seq, shd);
+}
+
+TEST(SchedStress, SoakChainDifferentialAcrossAllBackends) {
+  // Soak mode: MCAM_SOAK_ITERS=N repeats the whole-chain differential N
+  // times with varying shapes (default 1 — cheap enough for every CI run;
+  // the TSan job and nightly soaks crank it up). Every iteration reuses one
+  // executor per backend for two runs, so the persistent worker pools see
+  // sustained reuse under contention.
+  int iters = 1;
+  if (const char* env = std::getenv("MCAM_SOAK_ITERS"))
+    iters = std::max(1, std::atoi(env));
+
+  for (int i = 0; i < iters; ++i) {
+    const int cells = 8 + (i % 5) * 7;   // 8..36
+    const int tokens = 4 + (i % 3) * 5;  // 4..14
+    const auto twice = [&](ExecutorKind kind) {
+      return run_chain(cells, tokens, [&](Specification& s) {
+        auto ex = make_executor(s, {.kind = kind,
+                                    .processors = 4,
+                                    .threads = 1 + (i % 4)});
+        ex->run({.stop = {StopCondition::max_steps(3)}});
+        ex->run();  // resume to quiescence on the same (pooled) executor
+      });
+    };
+    const auto seq = twice(ExecutorKind::Sequential);
+    EXPECT_EQ(seq.first, cells - 1) << "iteration " << i;
+    EXPECT_EQ(seq.second, cells * tokens) << "iteration " << i;
+    for (ExecutorKind kind :
+         {ExecutorKind::ParallelSim, ExecutorKind::Threaded,
+          ExecutorKind::Sharded}) {
+      EXPECT_EQ(twice(kind), seq)
+          << "iteration " << i << ", backend " << executor_kind_name(kind);
+    }
+  }
 }
 
 TEST(SchedStress, ParallelSimDeterministicAcrossRuns) {

@@ -1,0 +1,255 @@
+// WorkerPool unit tests: the epoch barrier under contention, stealing and
+// its fairness counters, graceful shutdown with queued tasks, reuse across
+// epochs and across Executor::run() calls, and oversubscription (more
+// workers than tasks/shards). The pool is the substrate of the Threaded and
+// Sharded backends, so these tests run under the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "estelle/executor.hpp"
+#include "estelle/module.hpp"
+#include "estelle/sched.hpp"
+#include "estelle/shard_executor.hpp"
+#include "estelle/worker_pool.hpp"
+
+namespace mcam::estelle {
+namespace {
+
+std::uint64_t total_executed(const WorkerPool& pool) {
+  std::uint64_t n = 0;
+  for (const auto& s : pool.worker_stats()) n += s.executed;
+  return n;
+}
+
+std::uint64_t total_stolen(const WorkerPool& pool) {
+  std::uint64_t n = 0;
+  for (const auto& s : pool.worker_stats()) n += s.stolen;
+  return n;
+}
+
+TEST(WorkerPoolTest, EpochBarrierCompletesEveryTaskBeforeReturning) {
+  WorkerPool pool(4);
+  std::atomic<int> done{0};
+  const int kTasks = 64;
+  const int kEpochs = 50;
+  for (int e = 1; e <= kEpochs; ++e) {
+    for (int k = 0; k < kTasks; ++k)
+      pool.submit(k, [&done](int) { done.fetch_add(1); });
+    EXPECT_EQ(pool.run_epoch(), static_cast<std::size_t>(kTasks));
+    // The barrier: by the time run_epoch returns, every task of the epoch
+    // has finished — no stragglers, under repeated contention.
+    EXPECT_EQ(done.load(), e * kTasks);
+    EXPECT_EQ(pool.pending(), 0u);
+  }
+  EXPECT_EQ(pool.epochs(), static_cast<std::uint64_t>(kEpochs));
+  EXPECT_EQ(total_executed(pool), static_cast<std::uint64_t>(kTasks * kEpochs));
+}
+
+TEST(WorkerPoolTest, EpochResultsAreVisibleWithoutExtraSynchronization) {
+  // Tasks write plain (non-atomic) memory; the epoch barrier must be the
+  // happens-before edge that makes those writes readable from the caller.
+  WorkerPool pool(4);
+  std::vector<int> results(128, 0);
+  for (int k = 0; k < 128; ++k)
+    pool.submit(k, [&results, k](int) { results[static_cast<std::size_t>(k)] = k * k; });
+  pool.run_epoch();
+  for (int k = 0; k < 128; ++k)
+    ASSERT_EQ(results[static_cast<std::size_t>(k)], k * k);
+}
+
+TEST(WorkerPoolTest, IdleWorkersStealFromLoadedDeques) {
+  // All tasks land on worker 0's deque; each task blocks until every worker
+  // of the pool is running one, so workers 1..3 are forced to steal.
+  const int kWorkers = 4;
+  WorkerPool pool(kWorkers);
+  std::atomic<int> running{0};
+  for (int k = 0; k < kWorkers; ++k) {
+    pool.submit(0, [&running, kWorkers](int) {
+      running.fetch_add(1);
+      while (running.load() < kWorkers) std::this_thread::yield();
+    });
+  }
+  pool.run_epoch();
+
+  const auto stats = pool.worker_stats();
+  EXPECT_EQ(total_executed(pool), static_cast<std::uint64_t>(kWorkers));
+  EXPECT_EQ(total_stolen(pool), static_cast<std::uint64_t>(kWorkers - 1));
+  // Fairness: with the rendezvous forcing full participation, every worker
+  // executed exactly one task, and only worker 0's was home-grown.
+  for (int w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(stats[static_cast<std::size_t>(w)].executed, 1u) << "worker " << w;
+    EXPECT_EQ(stats[static_cast<std::size_t>(w)].stolen, w == 0 ? 0u : 1u)
+        << "worker " << w;
+  }
+}
+
+TEST(WorkerPoolTest, ExecutingWorkerIdIsReportedToTheTask) {
+  const int kWorkers = 3;
+  WorkerPool pool(kWorkers);
+  std::atomic<int> running{0};
+  std::vector<int> ran_on(kWorkers, -1);
+  for (int k = 0; k < kWorkers; ++k) {
+    pool.submit(0, [&, k](int w) {
+      ran_on[static_cast<std::size_t>(k)] = w;
+      running.fetch_add(1);
+      while (running.load() < kWorkers) std::this_thread::yield();
+    });
+  }
+  pool.run_epoch();
+  // Every worker id in range, all distinct (one task each by rendezvous).
+  std::vector<int> seen(kWorkers, 0);
+  for (int w : ran_on) {
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, kWorkers);
+    ++seen[static_cast<std::size_t>(w)];
+  }
+  for (int w = 0; w < kWorkers; ++w) EXPECT_EQ(seen[static_cast<std::size_t>(w)], 1);
+}
+
+TEST(WorkerPoolTest, ShutdownWithQueuedTasksIsGracefulAndDropsThem) {
+  std::atomic<int> ran{0};
+  {
+    WorkerPool pool(3);
+    for (int k = 0; k < 10; ++k) pool.submit(k, [&ran](int) { ran.fetch_add(1); });
+    EXPECT_EQ(pool.pending(), 10u);
+    // No run_epoch: destruction must join the parked workers without running
+    // (or leaking) the queued tasks.
+  }
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(WorkerPoolTest, ShutdownImmediatelyAfterEpochIsGraceful) {
+  std::atomic<int> ran{0};
+  {
+    WorkerPool pool(2);
+    for (int k = 0; k < 8; ++k) pool.submit(k, [&ran](int) { ran.fetch_add(1); });
+    pool.run_epoch();
+  }
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(WorkerPoolTest, EmptyEpochDoesNotWakeWorkers) {
+  WorkerPool pool(2);
+  EXPECT_EQ(pool.run_epoch(), 0u);
+  EXPECT_EQ(pool.epochs(), 0u);
+  EXPECT_EQ(total_executed(pool), 0u);
+}
+
+TEST(WorkerPoolTest, OversubscriptionMoreWorkersThanTasks) {
+  // 8 workers, 2 tasks per epoch: extra workers wake, find nothing, and
+  // park again; the barrier still holds and counters stay consistent.
+  WorkerPool pool(8);
+  std::atomic<int> done{0};
+  for (int e = 0; e < 20; ++e) {
+    pool.submit(0, [&done](int) { done.fetch_add(1); });
+    pool.submit(5, [&done](int) { done.fetch_add(1); });
+    EXPECT_EQ(pool.run_epoch(), 2u);
+  }
+  EXPECT_EQ(done.load(), 40);
+  EXPECT_EQ(total_executed(pool), 40u);
+}
+
+// ---------------------------------------------------------------------------
+// Pool reuse through the executors.
+
+/// Two independent workers inside one system module: every round has two
+/// conflict-free candidates, so the Threaded backend uses its pool each
+/// round.
+struct ParallelWorld {
+  Specification spec{"pw"};
+  explicit ParallelWorld(int limit = 6) {
+    auto& sys =
+        spec.root().create_child<Module>("sys", Attribute::SystemProcess);
+    for (int i = 0; i < 2; ++i) {
+      auto& w = sys.create_child<Module>("w" + std::to_string(i),
+                                         Attribute::Process);
+      w.trans("tick")
+          .provided([limit](Module& m, const Interaction*) {
+            return m.state() < limit;
+          })
+          .action([](Module& m, const Interaction*) {
+            m.set_state(m.state() + 1);
+          });
+    }
+    spec.initialize();
+  }
+  void rearm() {
+    for (auto& child : spec.root().children()[0]->children())
+      child->set_state(0);
+  }
+};
+
+TEST(WorkerPoolTest, ThreadedSchedulerReusesOnePoolAcrossRuns) {
+  ParallelWorld world;
+  ThreadedScheduler sched(world.spec, {.threads = 3});
+  sched.run();
+  ASSERT_NE(sched.pool(), nullptr);
+  const WorkerPool* pool = sched.pool();
+  const std::uint64_t epochs_after_first = pool->epochs();
+  EXPECT_GT(epochs_after_first, 0u);
+
+  // Second run: same pool object, more epochs — no teardown/respawn.
+  world.rearm();
+  sched.run();
+  EXPECT_EQ(sched.pool(), pool);
+  EXPECT_GT(pool->epochs(), epochs_after_first);
+}
+
+TEST(WorkerPoolTest, RunOptionsWorkerCountResizesThePool) {
+  ParallelWorld world;
+  ThreadedScheduler sched(world.spec, {.threads = 2});
+  sched.run();
+  EXPECT_EQ(sched.pool()->worker_count(), 2);
+  EXPECT_EQ(sched.unit_count(), 2);
+
+  world.rearm();
+  sched.run({.worker_count = 5});
+  EXPECT_EQ(sched.pool()->worker_count(), 5);
+
+  // Width sticks for later runs that don't override it? No — the configured
+  // width is restored once a run stops asking for a different one.
+  world.rearm();
+  sched.run();
+  EXPECT_EQ(sched.pool()->worker_count(), 2);
+}
+
+TEST(WorkerPoolTest, ShardedExecutorReusesOnePoolAndCapsAtShardCount) {
+  // Two independent system modules = two shards; ask for 8 workers and the
+  // pool must cap at 2 (whole-shard stealing can't use more).
+  Specification spec("two-shards");
+  for (int i = 0; i < 2; ++i) {
+    auto& sys = spec.root().create_child<Module>("sys" + std::to_string(i),
+                                                 Attribute::SystemProcess);
+    auto& w = sys.create_child<Module>("w", Attribute::Process);
+    w.trans("tick")
+        .provided([](Module& m, const Interaction*) { return m.state() < 9; })
+        .action([](Module& m, const Interaction*) {
+          m.set_state(m.state() + 1);
+        });
+  }
+  spec.initialize();
+
+  ShardedExecutor ex(spec, {.threads = 8});
+  const RunReport report = ex.run();
+  EXPECT_EQ(report.fired, 18u);
+  ASSERT_NE(ex.pool(), nullptr);
+  EXPECT_EQ(ex.pool()->worker_count(), 2);
+  EXPECT_EQ(ex.unit_count(), 2);
+
+  const WorkerPool* pool = ex.pool();
+  const std::uint64_t epochs = pool->epochs();
+  for (Module* sm : spec.system_modules())
+    sm->children()[0]->set_state(0);
+  ex.run();
+  EXPECT_EQ(ex.pool(), pool);  // reused, not respawned
+  EXPECT_GT(pool->epochs(), epochs);
+}
+
+}  // namespace
+}  // namespace mcam::estelle
