@@ -17,19 +17,23 @@ namespace mcam::estelle {
 
 namespace {
 
-constexpr SimTime kNever{std::numeric_limits<std::int64_t>::max()};
-
-/// Earliest future time at which a currently-blocked delay transition could
-/// become fireable (state and guard permitting); kNever if none.
+/// Earliest time at which a delay transition blocked at candidate-collection
+/// time can fire (state and guard permitting); kNeverTime if none. A deadline
+/// already reached — the clock moved past it after collection, e.g. by the
+/// sequential backend's scan-cost charge — wakes immediately (`now`): the
+/// world is not quiescent, the next round's collection will see the matured
+/// transition. (Skipping those used to silently drop firings when a large
+/// idle scan jumped the clock over a maturation point.)
 SimTime next_delay_wakeup(Specification& spec, SimTime now) {
-  SimTime best = kNever;
+  SimTime best = kNeverTime;
   spec.root().for_each([&](Module& m) {
     for (const Transition& t : m.transitions()) {
       if (t.ip != nullptr || t.delay.ns == 0) continue;
       if (t.from_state != kAnyState && t.from_state != m.state()) continue;
       if (t.provided && !t.provided(m, nullptr)) continue;
       const SimTime ready = m.state_entered_at() + t.delay;
-      if (ready > now && ready < best) best = ready;
+      const SimTime wake = ready > now ? ready : now;
+      if (wake < best) best = wake;
     }
   });
   return best;
@@ -219,13 +223,16 @@ RunReport ExecutorBase::run(const RunOptions& opts) {
   // Firings of reentrant inner run() calls are attributed to those runs'
   // reports, not this one's (`fired` means "fired in this run").
   const std::uint64_t fired_before = stats_.fired;
+  const std::uint64_t guards_before = stats_.guards_examined;
+  const std::uint64_t cands_before = stats_.candidates_considered;
+  const std::uint64_t allocs_before = stats_.rounds_with_allocation;
   const std::uint64_t prev_nested = nested_fired_;
   nested_fired_ = 0;
 
   // Bound idle clock jumps by this run's earliest deadline (saved/restored
   // for reentrancy).
   const SimTime prev_deadline = run_deadline_;
-  run_deadline_ = kNever;
+  run_deadline_ = kNeverTime;
   for (const StopCondition& c : opts.stop)
     if (c.kind() == StopCondition::Kind::Deadline &&
         c.deadline_time() < run_deadline_)
@@ -256,6 +263,11 @@ RunReport ExecutorBase::run(const RunOptions& opts) {
     report.fired = stats_.fired - fired_before - nested_fired_;
     report.stats = stats_;
     report.time = now_;
+    report.guards_examined = stats_.guards_examined - guards_before;
+    report.candidates_considered =
+        stats_.candidates_considered - cands_before;
+    report.rounds_with_allocation =
+        stats_.rounds_with_allocation - allocs_before;
     nested_fired_ = prev_nested + (stats_.fired - fired_before);
     decorate_report(report);
     chain.on_report(*this, report);
@@ -301,19 +313,23 @@ RunReport ExecutorBase::run(const RunOptions& opts) {
 std::vector<FiringCandidate> ExecutorBase::collect_candidates(
     int* scan_effort) {
   std::vector<FiringCandidate> candidates;
+  int effort = 0;
   for (Module* sm : spec_.system_modules()) {
-    auto v = collect_firing_set(*sm, now_, scan_effort);
+    auto v = collect_firing_set(*sm, now_, &effort);
     candidates.insert(candidates.end(), v.begin(), v.end());
   }
+  if (scan_effort != nullptr) *scan_effort += effort;
+  stats_.guards_examined += static_cast<std::uint64_t>(effort);
+  stats_.candidates_considered += candidates.size();
+  // The legacy path allocates fresh buffers every round by design.
+  ++stats_.rounds_with_allocation;
   return candidates;
 }
 
 bool ExecutorBase::advance_to_wakeup() {
   const SimTime wake = next_delay_wakeup(spec_, now_);
-  if (wake == kNever) return false;
-  // Never jump past the run's deadline: the clock stays honest and the
-  // between-round check stops the run at (not far beyond) the deadline.
-  now_ = wake < run_deadline_ ? wake : run_deadline_;
+  if (wake == kNeverTime) return false;
+  advance_clock_toward(wake);
   return true;
 }
 

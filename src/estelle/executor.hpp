@@ -83,6 +83,14 @@ struct SchedulerStats {
   SimTime sched_time{};    // selection + bookkeeping time
   SimTime switch_time{};   // context switches (parallel only)
   SimTime msg_time{};      // inter-unit messages (parallel only)
+  /// Hot-path observability (the dirty-set win, measured not anecdotal):
+  /// `provided`/when/delay guards evaluated while selecting transitions,
+  std::uint64_t guards_examined = 0;
+  /// firing candidates produced by candidate collection (pre-revalidation),
+  std::uint64_t candidates_considered = 0;
+  /// and rounds in which the scheduler's persistent round buffers had to
+  /// grow (a steady-state round performs zero heap allocations).
+  std::uint64_t rounds_with_allocation = 0;
 
   [[nodiscard]] double scheduler_share() const noexcept {
     const double total = static_cast<double>(busy.ns + sched_time.ns +
@@ -251,6 +259,12 @@ struct RunReport {
   std::uint64_t fired = 0;  // transitions fired in this run
   SchedulerStats stats{};   // executor-lifetime cumulative counters
   SimTime time{};           // virtual clock when the run ended
+  /// Per-run deltas of the hot-path counters (the lifetime values live in
+  /// `stats`): guards examined selecting transitions, candidates collected,
+  /// rounds that grew a persistent scheduler buffer.
+  std::uint64_t guards_examined = 0;
+  std::uint64_t candidates_considered = 0;
+  std::uint64_t rounds_with_allocation = 0;
   std::vector<ShardRunStats> shards;  // per-shard stats (Sharded backend)
   /// Filled by MetricsObserver::on_report when one is attached:
   std::vector<ModuleFiringMetrics> module_metrics;
@@ -339,6 +353,14 @@ class ExecutorBase : public Executor {
   /// requested StopCondition::deadline(); false if there is no wakeup (the
   /// world is quiescent).
   bool advance_to_wakeup();
+  /// Clamped idle-wakeup jump shared by every backend: advance the clock to
+  /// min(wake, the active run's deadline), never backwards. A wake at or
+  /// before now_ legitimately leaves the clock in place — the next
+  /// collection sees the matured work at the current time.
+  void advance_clock_toward(SimTime wake) noexcept {
+    const SimTime target = wake < run_deadline_ ? wake : run_deadline_;
+    if (target > now_) now_ = target;
+  }
   /// The observer chain of the active run (persistent run_observers() first,
   /// then the run's RunOptions::observers); null outside run() AND null when
   /// the active run has no observers at all, so backends can skip
@@ -361,6 +383,10 @@ class ExecutorBase : public Executor {
   SimTime now_{};
   SchedulerStats stats_;
   std::uint64_t step_limit_;
+  /// Earliest StopCondition::deadline() of the active run (SimTime max when
+  /// none); bounds idle clock jumps — both advance_to_wakeup()'s tree scan
+  /// and the backends' deadline-heap jumps clamp against it.
+  SimTime run_deadline_{std::numeric_limits<std::int64_t>::max()};
 
  private:
   class Chain;
@@ -368,9 +394,6 @@ class ExecutorBase : public Executor {
   /// Firings contributed by reentrant inner run() calls during the active
   /// run — subtracted so RunReport::fired stays "fired in THIS run".
   std::uint64_t nested_fired_ = 0;
-  /// Earliest StopCondition::deadline() of the active run (SimTime max when
-  /// none); bounds idle clock jumps in advance_to_wakeup().
-  SimTime run_deadline_{std::numeric_limits<std::int64_t>::max()};
   /// RunOptions::worker_count of the active run (see requested_worker_count).
   int run_worker_count_ = 0;
 };
@@ -401,6 +424,17 @@ struct ExecutorConfig {
   // shards, extra workers could never be busy). RunOptions::worker_count
   // overrides this per run.
   int threads = 0;
+
+  /// Restore the legacy full-tree candidate scan (and tree-walk wakeup) in
+  /// the Sequential/Threaded/Sharded backends instead of event-driven
+  /// dirty-set scheduling (ready_set.hpp). The O(modules) baseline every
+  /// hot-path speedup is measured against; also a semantic escape hatch.
+  bool full_scan = false;
+  /// Debug cross-check: after every dirty-set candidate collection, run the
+  /// reference full scan too and throw std::logic_error on any divergence.
+  /// The differential suites run with this on; it defeats the speedup, so
+  /// keep it off in production. Ignored when full_scan is set.
+  bool verify_ready_set = false;
 
   /// Escape hatch for backends registered out of tree: their creator reads
   /// whatever typed options it expects from here, so new runtimes get

@@ -77,13 +77,17 @@ void InteractionPoint::deliver(Interaction msg) {
   if (t_shard != kNoShard && owner_.shard() != t_shard) {
     // Two-phase cross-shard handoff: park in the transfer mailbox, stamped
     // with the sender shard's clock; the owning shard drains at its next
-    // epoch boundary.
+    // epoch boundary (the drain is what marks the owner ready).
     std::lock_guard<std::mutex> lock(stripe_of(this));
     transfers_.emplace_back(std::move(msg), t_shard_now);
     transfer_count_.store(transfers_.size(), std::memory_order_release);
     return;
   }
+  // Only the queue head is offered to when-clauses, so fireability changes
+  // exactly when the delivery creates a new head.
+  const bool new_head = inbox_.empty();
   inbox_.push_back(std::move(msg));
+  if (new_head) owner_.mark_ready();
 }
 
 std::size_t InteractionPoint::drain_transfers(SimTime* watermark) {
@@ -98,7 +102,13 @@ std::size_t InteractionPoint::drain_transfers(SimTime* watermark) {
   }
   transfers_.clear();
   transfer_count_.store(0, std::memory_order_release);
+  if (n > 0) owner_.mark_ready();
   return n;
+}
+
+void InteractionPoint::clear() noexcept {
+  inbox_.clear();
+  owner_.mark_ready();  // the offered head (if any) is gone
 }
 
 bool InteractionPoint::has_pending_transfers() const {
@@ -124,6 +134,9 @@ Interaction InteractionPoint::pop() {
     throw std::logic_error("pop on empty interaction point '" + name_ + "'");
   Interaction msg = std::move(inbox_.front());
   inbox_.pop_front();
+  // The next interaction (or none) is now the offered head; whichever of the
+  // owner's when-clauses match has to be reconsidered.
+  owner_.mark_ready();
   return msg;
 }
 

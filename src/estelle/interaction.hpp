@@ -96,7 +96,7 @@ class InteractionPoint {
   [[nodiscard]] std::size_t queue_length() const noexcept {
     return inbox_.size();
   }
-  void clear() noexcept { inbox_.clear(); }
+  void clear() noexcept;
 
   /// Fault injection on this IP's *outgoing* direction.
   void set_loss(double probability, common::Rng* rng) noexcept {
@@ -176,6 +176,12 @@ class OutputCapture {
   ~OutputCapture();
   OutputCapture(const OutputCapture&) = delete;
   OutputCapture& operator=(const OutputCapture&) = delete;
+  /// Movable so executors can pool captures in growable containers between
+  /// rounds; moving an *active* capture (between begin() and end()) is
+  /// forbidden — the thread-local registration would keep pointing at the
+  /// old address.
+  OutputCapture(OutputCapture&&) noexcept = default;
+  OutputCapture& operator=(OutputCapture&&) noexcept = default;
 
   /// Install on the calling thread; outputs are recorded until end().
   void begin();
@@ -186,6 +192,10 @@ class OutputCapture {
   void commit();
 
   [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  /// Reserved item slots (allocation accounting for the reuse pools).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return items_.capacity();
+  }
 
  private:
   friend class InteractionPoint;

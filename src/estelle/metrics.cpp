@@ -38,6 +38,12 @@ void MetricsObserver::on_fire(const Module& module, const Transition&,
 void MetricsObserver::on_report(Executor&, RunReport& report) {
   report.module_metrics = module_metrics();
   report.firing_gap_histogram = histogram_;
+  // The scheduler fills the per-run hot-path counters before observers see
+  // the report; retain them so a persistent observer carries the cumulative
+  // picture across the many short runs a client facade pumps.
+  guards_examined_ += report.guards_examined;
+  candidates_considered_ += report.candidates_considered;
+  rounds_with_allocation_ += report.rounds_with_allocation;
 }
 
 std::uint64_t MetricsObserver::fired_by(const std::string& module_path) const {
@@ -78,6 +84,12 @@ std::string MetricsObserver::to_string(std::size_t top) const {
                         rows[i].mean_gap.micros());
   if (rows.size() > top)
     out += common::strf("  ... %zu more modules\n", rows.size() - top);
+  out += common::strf(
+      "  hot path: %llu guards examined (%.2f per firing), %llu candidates, "
+      "%llu allocating rounds\n",
+      static_cast<unsigned long long>(guards_examined_), guards_per_firing(),
+      static_cast<unsigned long long>(candidates_considered_),
+      static_cast<unsigned long long>(rounds_with_allocation_));
   out += "  firing-gap histogram (us, log2 buckets):\n";
   for (std::size_t b = 0; b < histogram_.size(); ++b) {
     if (histogram_[b] == 0) continue;
@@ -93,6 +105,9 @@ void MetricsObserver::clear() {
   modules_.clear();
   std::fill(histogram_.begin(), histogram_.end(), 0);
   fired_ = 0;
+  guards_examined_ = 0;
+  candidates_considered_ = 0;
+  rounds_with_allocation_ = 0;
 }
 
 }  // namespace mcam::estelle

@@ -41,6 +41,27 @@ class MetricsObserver : public RunObserver {
   [[nodiscard]] std::uint64_t total_fired() const noexcept { return fired_; }
   /// Firing count of one module (0 if never seen).
   [[nodiscard]] std::uint64_t fired_by(const std::string& module_path) const;
+
+  /// Hot-path counters accumulated from every observed run's report
+  /// (on_report): guard evaluations spent selecting transitions, candidates
+  /// collected, and rounds that grew a scheduler buffer. The dirty-set
+  /// scheduling win, measured rather than anecdotal.
+  [[nodiscard]] std::uint64_t guards_examined() const noexcept {
+    return guards_examined_;
+  }
+  [[nodiscard]] std::uint64_t candidates_considered() const noexcept {
+    return candidates_considered_;
+  }
+  [[nodiscard]] std::uint64_t rounds_with_allocation() const noexcept {
+    return rounds_with_allocation_;
+  }
+  /// Guard evaluations per firing — the §5.2-style selection-overhead ratio
+  /// (0 when nothing fired).
+  [[nodiscard]] double guards_per_firing() const noexcept {
+    return fired_ == 0 ? 0.0
+                       : static_cast<double>(guards_examined_) /
+                             static_cast<double>(fired_);
+  }
   [[nodiscard]] const std::vector<std::uint64_t>& histogram() const noexcept {
     return histogram_;
   }
@@ -69,6 +90,9 @@ class MetricsObserver : public RunObserver {
   std::vector<std::uint64_t> histogram_ =
       std::vector<std::uint64_t>(kHistogramBuckets, 0);
   std::uint64_t fired_ = 0;
+  std::uint64_t guards_examined_ = 0;
+  std::uint64_t candidates_considered_ = 0;
+  std::uint64_t rounds_with_allocation_ = 0;
 };
 
 }  // namespace mcam::estelle

@@ -9,7 +9,8 @@ namespace {
 std::atomic<std::uint64_t> g_next_instance_id{1};
 }  // namespace
 
-bool is_fireable(const Transition& t, Module& m, common::SimTime now) {
+bool is_fireable(const Transition& t, Module& m, common::SimTime now,
+                 ReadinessProbe* probe) {
   if (t.from_state != kAnyState && t.from_state != m.state()) return false;
   const Interaction* head = nullptr;
   if (t.ip != nullptr) {
@@ -17,9 +18,29 @@ bool is_fireable(const Transition& t, Module& m, common::SimTime now) {
     if (head == nullptr) return false;
     if (t.kind != kAnyKind && head->kind != t.kind) return false;
   } else if (t.delay.ns > 0) {
-    if (now - m.state_entered_at() < t.delay) return false;
+    if (now - m.state_entered_at() < t.delay) {
+      if (probe != nullptr) {
+        // An immature delay defines the module's next wakeup — but, like the
+        // legacy full-tree wakeup scan, only while its guard passes. The
+        // guard evaluation itself makes the module sticky (guard_invoked),
+        // so a later guard flip is caught by the per-round re-evaluation.
+        bool pass = true;
+        if (t.provided) {
+          probe->guard_invoked = true;
+          pass = t.provided(m, nullptr);
+        }
+        if (pass) {
+          const common::SimTime ready = m.state_entered_at() + t.delay;
+          if (ready < probe->next_deadline) probe->next_deadline = ready;
+        }
+      }
+      return false;
+    }
   }
-  if (t.provided && !t.provided(m, head)) return false;
+  if (t.provided) {
+    if (probe != nullptr) probe->guard_invoked = true;
+    if (!t.provided(m, head)) return false;
+  }
   return true;
 }
 
@@ -180,6 +201,9 @@ void Module::add_transition(Transition t) {
                            "' combines when- and delay-clauses");
   transitions_.push_back(std::move(t));
   index_dirty_ = true;
+  // A transition registered mid-run (dynamic specialization) must be seen by
+  // the event-driven schedulers without a topology change.
+  mark_ready();
 }
 
 void Module::rebuild_index() {
@@ -210,7 +234,8 @@ void Module::rebuild_index() {
   index_dirty_ = false;
 }
 
-const Transition* Module::select_fireable(common::SimTime now) {
+const Transition* Module::select_fireable(common::SimTime now,
+                                          ReadinessProbe* probe) {
   scan_effort_ = 0;
   if (transitions_.empty()) return nullptr;
   if (index_dirty_) rebuild_index();
@@ -221,7 +246,7 @@ const Transition* Module::select_fireable(common::SimTime now) {
     for (int i : linear_order_) {
       ++scan_effort_;
       Transition& t = transitions_[static_cast<std::size_t>(i)];
-      if (is_fireable(t, *this, now)) return &t;
+      if (is_fireable(t, *this, now, probe)) return &t;
     }
     return nullptr;
   }
@@ -251,9 +276,29 @@ const Transition* Module::select_fireable(common::SimTime now) {
       idx = any[ai++];
     ++scan_effort_;
     Transition& t = transitions_[static_cast<std::size_t>(idx)];
-    if (is_fireable(t, *this, now)) return &t;
+    if (is_fireable(t, *this, now, probe)) return &t;
   }
   return nullptr;
+}
+
+void Module::mark_ready() noexcept {
+  if (spec_ != nullptr) spec_->ready_ledger().mark(*this);
+}
+
+// ---------------------------------------------------------------------------
+// ReadyLedger
+
+void ReadyLedger::mark(Module& m) {
+  // The exchange dedups; the happens-before between a worker-thread mark and
+  // the boundary-time drain comes from the worker pool's epoch barrier, not
+  // from this flag.
+  if (m.ledger_marked_.exchange(true, std::memory_order_acq_rel)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(&m);
+}
+
+void ReadyLedger::reset_flag(Module& m) noexcept {
+  m.ledger_marked_.store(false, std::memory_order_release);
 }
 
 Module* Module::owning_system_module() noexcept {

@@ -24,8 +24,11 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -34,6 +37,10 @@
 #include "estelle/interaction.hpp"
 
 namespace mcam::estelle {
+
+/// "No pending wakeup" sentinel for delay deadlines.
+inline constexpr common::SimTime kNeverTime{
+    std::numeric_limits<std::int64_t>::max()};
 
 /// Estelle module attributes (§4 of the paper). `Inactive` represents an
 /// unattributed structuring module (e.g. the specification root).
@@ -135,6 +142,79 @@ enum class DispatchKind { LinearScan, StateTable };
 
 class Specification;
 
+/// Side-channel of one fireability evaluation, filled by is_fireable() /
+/// select_fireable() when the caller passes one. The event-driven schedulers
+/// (ready_set.hpp) use it to decide when a module must be looked at again:
+///
+///   next_deadline — earliest future time an immature delay clause scanned
+///     on the way to (and including) the selected transition could mature.
+///     Mirrors the legacy full-tree wakeup scan: a guarded delay contributes
+///     only while its guard currently passes (guard flips are caught by the
+///     guard_invoked rule below).
+///   guard_invoked — a `provided` guard was actually evaluated. Guards are
+///     opaque functions that may read state the runtime cannot hook (a
+///     captured budget shared across modules, another queue's length), so a
+///     module whose evaluation consulted any guard stays in the ready set
+///     and is re-examined every round — the conservative rule that keeps
+///     dirty-set scheduling exact even on ill-formed specifications.
+struct ReadinessProbe {
+  common::SimTime next_deadline = kNeverTime;
+  bool guard_invoked = false;
+};
+
+/// Specification-owned queue of modules whose fireability may have changed
+/// since a scheduler last examined them. Producers are the dirty hooks
+/// (interaction delivery, state changes, firing, transition registration);
+/// the consumer is whichever executor is driving the specification, which
+/// drains the queue at round boundaries into its own ready sets.
+///
+/// mark() is thread-safe (worker threads firing independent candidates or
+/// whole shards mark concurrently); drain()/clear() are boundary operations
+/// called only while workers are parked. Dedup is an intrusive atomic flag
+/// on the module, so steady-state marking is one uncontended exchange.
+class ReadyLedger {
+ public:
+  void mark(Module& m);
+
+  /// Hand every queued module to `f` and empty the queue (resets the
+  /// intrusive flags). Single-threaded by contract.
+  template <typename F>
+  void drain(F&& f) {
+    if (entries_.empty()) return;
+    for (Module* m : entries_) {
+      reset_flag(*m);
+      f(*m);
+    }
+    entries_.clear();
+  }
+
+  /// Forget the queued entries WITHOUT dereferencing them — used when a
+  /// topology change may have destroyed queued modules; the caller resets
+  /// the surviving modules' flags via a tree walk.
+  void clear_unsafe() noexcept { entries_.clear(); }
+
+  /// Claim the consumer role. Returns true when `owner` differs from the
+  /// previous consumer — the new consumer must then seed itself with a full
+  /// scan, because earlier events were drained by someone else.
+  bool acquire(const void* owner) noexcept {
+    const bool changed = owner_ != owner;
+    owner_ = owner;
+    return changed;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return entries_.capacity();
+  }
+
+ private:
+  static void reset_flag(Module& m) noexcept;
+
+  std::mutex mu_;  // guards entries_ growth from concurrent markers
+  std::vector<Module*> entries_;
+  const void* owner_ = nullptr;
+};
+
 /// Base class for all Estelle modules. Subclasses declare IPs and
 /// transitions in their constructor (or in on_init()).
 class Module {
@@ -184,11 +264,17 @@ class Module {
 
   // ---- state machine -----------------------------------------------------
   [[nodiscard]] int state() const noexcept { return state_; }
-  void set_state(int s) noexcept { state_ = s; }
+  void set_state(int s) noexcept {
+    state_ = s;
+    mark_ready();
+  }
   [[nodiscard]] common::SimTime state_entered_at() const noexcept {
     return state_entered_at_;
   }
-  void note_state_entry(common::SimTime t) noexcept { state_entered_at_ = t; }
+  void note_state_entry(common::SimTime t) noexcept {
+    state_entered_at_ = t;
+    mark_ready();
+  }
 
   TransitionBuilder trans(std::string name = {}) {
     return TransitionBuilder(*this, std::move(name));
@@ -208,7 +294,17 @@ class Module {
   /// honoring priority and declaration order. Returns nullptr if none.
   /// `now` drives delay clauses. Cost of the scan depends on dispatch():
   /// callers that model selection cost can use scan_effort() afterwards.
-  [[nodiscard]] const Transition* select_fireable(common::SimTime now);
+  /// `probe` (optional) reports readiness facts to the event-driven
+  /// schedulers — see ReadinessProbe.
+  [[nodiscard]] const Transition* select_fireable(
+      common::SimTime now, ReadinessProbe* probe = nullptr);
+
+  /// Enqueue this module into the specification's ready ledger: something
+  /// that may change its fireability happened. Idempotent, thread-safe,
+  /// no-op before the module joins a specification. Called by the runtime
+  /// hooks (interaction delivery, firing, state changes); user code only
+  /// needs it when mutating fireability inputs the runtime cannot see.
+  void mark_ready() noexcept;
 
   /// Number of transition guards examined by the last select_fireable()
   /// call — the quantity the §5.2 dispatch experiment varies.
@@ -249,6 +345,8 @@ class Module {
 
  private:
   friend class Specification;
+  friend class ReadyLedger;
+  friend class ReadyScope;
 
   void adopt(std::unique_ptr<Module> child);
   void check_child_rules(const Module& child) const;
@@ -277,13 +375,27 @@ class Module {
   bool initialized_ = false;
   bool uniprocessor_host_ = false;
   int shard_ = -1;  // kNoShard; see shard()
+
+  // ---- event-driven scheduling state (see ready_set.hpp) -----------------
+  // Owned logically by the one ReadyScope currently driving this module
+  // (whole-spec scope under Sequential/Threaded, the module's shard scope
+  // under Sharded); scope handoffs reset everything via a full reseed.
+  std::atomic<bool> ledger_marked_{false};  // queued in the spec ReadyLedger
+  bool scope_ready_ = false;                // member of a scope's ready list
+  const Transition* cached_fireable_ = nullptr;  // last evaluation's result
+  int fireable_slot_ = -1;       // index in the scope's fireable list
+  std::uint32_t preorder_ = 0;   // global document-order DFS index
+  std::uint64_t claim_stamp_ = 0;  // activity-exclusion mark (per round)
+  common::SimTime queued_deadline_ = kNeverTime;  // earliest heap entry
 };
 
 /// True iff `t` can fire in module `m` at time `now` (state, head-of-queue,
 /// provided guard, delay clause). Shared by all schedulers and by fire()'s
-/// revalidation.
+/// revalidation. `probe` (optional) reports readiness facts — see
+/// ReadinessProbe.
 [[nodiscard]] bool is_fireable(const Transition& t, Module& m,
-                               common::SimTime now);
+                               common::SimTime now,
+                               ReadinessProbe* probe = nullptr);
 
 /// The specification root: an Inactive module owning the system-module
 /// forest. After initialize(), creating further system modules anywhere in
@@ -314,8 +426,14 @@ class Specification {
     topology_version_.fetch_add(1, std::memory_order_acq_rel);
   }
 
+  /// The dirty-module queue feeding event-driven scheduling (ready_set.hpp).
+  [[nodiscard]] ReadyLedger& ready_ledger() noexcept { return ready_ledger_; }
+
  private:
   std::string name_;
+  /// Declared before root_ so it outlives every module's destructor (a
+  /// teardown hook may still reach the ledger through spec_).
+  ReadyLedger ready_ledger_;
   std::unique_ptr<Module> root_;
   bool initialized_ = false;
   std::atomic<std::uint64_t> topology_version_{0};

@@ -1,0 +1,235 @@
+#include "estelle/ready_set.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "estelle/sched.hpp"
+
+namespace mcam::estelle {
+
+namespace {
+
+/// Process-global round stamp for the activity-exclusion claim marks: a
+/// fresh value per build_candidates call, never reused, so stale marks from
+/// earlier rounds (or other scopes/executors) can never collide.
+std::atomic<std::uint64_t> g_claim_stamp{0};
+
+}  // namespace
+
+void ReadyScope::mark(Module& m) {
+  if (m.scope_ready_) return;
+  m.scope_ready_ = true;
+  ready_.push_back(&m);
+}
+
+const std::vector<FiringCandidate>& ReadyScope::collect(common::SimTime now) {
+  const std::size_t before = footprint();
+  round_guards_ = 0;
+  pop_matured(now);
+  evaluate(now);
+  build_candidates();
+  round_allocated_ = footprint() != before;
+  return candidates_;
+}
+
+common::SimTime ReadyScope::next_deadline() const noexcept {
+  return heap_.empty() ? kNeverTime : heap_.front().at;
+}
+
+void ReadyScope::pop_matured(common::SimTime now) {
+  const auto later = [](const Deadline& a, const Deadline& b) {
+    return a.at > b.at;  // min-heap on deadline
+  };
+  while (!heap_.empty() && heap_.front().at <= now) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    const Deadline d = heap_.back();
+    heap_.pop_back();
+    // Keep the "queued_deadline_ is the earliest queued entry" invariant;
+    // later (stale) entries for the same module just re-mark it, harmlessly.
+    if (d.module->queued_deadline_ == d.at)
+      d.module->queued_deadline_ = kNeverTime;
+    mark(*d.module);
+  }
+}
+
+void ReadyScope::evaluate(common::SimTime now) {
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < ready_.size(); ++i) {
+    Module* m = ready_[i];
+    ReadinessProbe probe;
+    const Transition* t = m->select_fireable(now, &probe);
+    round_guards_ += static_cast<std::uint64_t>(m->last_scan_effort());
+    set_fireable(*m, t);
+    if (probe.next_deadline != kNeverTime)
+      push_deadline(*m, probe.next_deadline);
+    if (probe.guard_invoked) {
+      // Sticky: a consulted guard may read state no hook can see; keep the
+      // module under per-round re-evaluation until its guards go dormant.
+      ready_[keep++] = m;
+    } else {
+      m->scope_ready_ = false;
+    }
+  }
+  ready_.resize(keep);
+}
+
+void ReadyScope::set_fireable(Module& m, const Transition* t) {
+  m.cached_fireable_ = t;
+  if (t != nullptr) {
+    if (m.fireable_slot_ < 0) {
+      m.fireable_slot_ = static_cast<int>(fireable_.size());
+      fireable_.push_back(&m);
+    }
+    return;
+  }
+  if (m.fireable_slot_ >= 0) {
+    const auto slot = static_cast<std::size_t>(m.fireable_slot_);
+    Module* last = fireable_.back();
+    fireable_[slot] = last;
+    last->fireable_slot_ = static_cast<int>(slot);
+    fireable_.pop_back();
+    m.fireable_slot_ = -1;
+  }
+}
+
+void ReadyScope::push_deadline(Module& m, common::SimTime at) {
+  if (m.queued_deadline_ <= at) return;  // an equal-or-earlier entry exists
+  m.queued_deadline_ = at;
+  heap_.push_back({at, &m});
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const Deadline& a, const Deadline& b) {
+                   return a.at > b.at;  // min-heap on deadline
+                 });
+}
+
+void ReadyScope::build_candidates() {
+  order_.clear();
+  order_.insert(order_.end(), fireable_.begin(), fireable_.end());
+  std::sort(order_.begin(), order_.end(),
+            [](const Module* a, const Module* b) {
+              return a->preorder_ < b->preorder_;
+            });
+
+  const std::uint64_t stamp =
+      g_claim_stamp.fetch_add(1, std::memory_order_relaxed) + 1;
+  candidates_.clear();
+  for (Module* m : order_) {
+    // Parent precedence: a fireable ancestor blocks the whole subtree.
+    // Activity exclusion: the first (document-order) accepted candidate
+    // under an activity-like module claims it, blocking the rest of that
+    // child forest. Walking to the root is exactly "up to the system
+    // module": modules above it are Inactive, carry no transitions, and so
+    // are never fireable or activity-like.
+    bool blocked = false;
+    for (Module* a = m->parent(); a != nullptr; a = a->parent()) {
+      if (a->cached_fireable_ != nullptr ||
+          (is_activity_like(a->attribute()) && a->claim_stamp_ == stamp)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) continue;
+    for (Module* a = m->parent(); a != nullptr; a = a->parent())
+      if (is_activity_like(a->attribute())) a->claim_stamp_ = stamp;
+    candidates_.push_back({m, m->cached_fireable_});
+  }
+}
+
+std::size_t ReadyScope::footprint() const noexcept {
+  return ready_.capacity() + fireable_.capacity() + heap_.capacity() +
+         order_.capacity() + candidates_.capacity();
+}
+
+void ReadyScope::clear() noexcept {
+  ready_.clear();
+  fireable_.clear();
+  heap_.clear();
+  order_.clear();
+  candidates_.clear();
+  round_guards_ = 0;
+  round_allocated_ = false;
+}
+
+void ReadyScope::reset_module(Module& m, std::uint32_t preorder) noexcept {
+  m.ledger_marked_.store(false, std::memory_order_relaxed);
+  m.scope_ready_ = false;
+  m.cached_fireable_ = nullptr;
+  m.fireable_slot_ = -1;
+  m.preorder_ = preorder;
+  m.claim_stamp_ = 0;
+  m.queued_deadline_ = kNeverTime;
+}
+
+// ---------------------------------------------------------------------------
+// SpecReadySet
+
+const std::vector<FiringCandidate>& SpecReadySet::collect(common::SimTime now) {
+  ReadyLedger& ledger = spec_.ready_ledger();
+  // Ledger growth since we last looked counts as this round's allocation
+  // (the marks that grew it happened while the previous round fired).
+  ledger_grew_ = ledger.capacity() != ledger_capacity_seen_;
+  ledger_capacity_seen_ = ledger.capacity();
+  const bool owner_changed = ledger.acquire(this);
+  if (!seeded_ || owner_changed ||
+      seen_version_ != spec_.topology_version()) {
+    reseed();
+  } else {
+    ledger.drain([this](Module& m) { scope_.mark(m); });
+  }
+  return scope_.collect(now);
+}
+
+void SpecReadySet::reseed() {
+  seeded_ = true;
+  seen_version_ = spec_.topology_version();
+  // Queued entries may point at destroyed modules; forget them without
+  // looking. The tree walk below resets every survivor's intrusive state.
+  spec_.ready_ledger().clear_unsafe();
+  scope_.clear();
+  std::uint32_t preorder = 0;
+  spec_.root().for_each([&](Module& m) {
+    ReadyScope::reset_module(m, preorder++);
+    // Seed everything: modules outside system subtrees cannot carry
+    // transitions (rule R1), so they evaluate to "nothing" once and drop out.
+    scope_.mark(m);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Verification
+
+void verify_against_full_scan(const std::vector<Module*>& system_modules,
+                              common::SimTime now,
+                              const std::vector<FiringCandidate>& got,
+                              std::size_t offset) {
+  std::vector<FiringCandidate> ref;
+  for (Module* sm : system_modules) {
+    const std::vector<FiringCandidate> part = collect_firing_set(*sm, now);
+    ref.insert(ref.end(), part.begin(), part.end());
+  }
+  const auto describe = [](const FiringCandidate& c) {
+    return c.module->path() + "/" +
+           (c.transition->name.empty() ? "?" : c.transition->name);
+  };
+  const auto fail = [&](const std::string& what) {
+    std::string msg = "verify_ready_set: " + what + "; full scan has " +
+                      std::to_string(ref.size()) + " candidate(s)";
+    for (const FiringCandidate& c : ref) msg += " [" + describe(c) + "]";
+    msg += ", ready set produced " +
+           std::to_string(got.size() - offset) + " candidate(s)";
+    for (std::size_t i = offset; i < got.size(); ++i)
+      msg += " [" + describe(got[i]) + "]";
+    throw std::logic_error(msg);
+  };
+  if (got.size() - offset != ref.size()) fail("candidate count diverged");
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const FiringCandidate& a = ref[i];
+    const FiringCandidate& b = got[offset + i];
+    if (a.module != b.module || a.transition != b.transition)
+      fail("candidate " + std::to_string(i) + " diverged");
+  }
+}
+
+}  // namespace mcam::estelle

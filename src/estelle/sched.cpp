@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "estelle/ready_set.hpp"
+
 namespace mcam::estelle {
 
 namespace {
@@ -78,18 +80,50 @@ SequentialScheduler::SequentialScheduler(Specification& spec,
                                          const ExecutorConfig& cfg)
     : ExecutorBase(spec, cfg.max_steps),
       sched_per_transition_(cfg.sched_per_transition),
-      scan_per_guard_(cfg.scan_per_guard) {}
+      scan_per_guard_(cfg.scan_per_guard),
+      ready_(spec),
+      full_scan_(cfg.full_scan),
+      verify_(cfg.verify_ready_set) {}
 
 bool SequentialScheduler::step() {
+  // Candidate collection: the event-driven ready set by default (guards are
+  // examined only for modules something happened to), the legacy full tree
+  // scan under ExecutorConfig::full_scan. The virtual scan cost charges
+  // whatever was actually examined, so dirty-set scheduling shrinks modelled
+  // scheduler overhead exactly like it shrinks real overhead.
   int effort = 0;
-  std::vector<FiringCandidate> candidates = collect_candidates(&effort);
+  std::vector<FiringCandidate> legacy;
+  const std::vector<FiringCandidate>* candidates;
+  if (full_scan_) {
+    legacy = collect_candidates(&effort);
+    candidates = &legacy;
+  } else {
+    candidates = &ready_.collect(now_);
+    if (verify_)
+      verify_against_full_scan(spec_.system_modules(), now_, *candidates);
+    effort = static_cast<int>(ready_.round_guards());
+    stats_.guards_examined += ready_.round_guards();
+    stats_.candidates_considered += candidates->size();
+    if (ready_.round_allocated()) ++stats_.rounds_with_allocation;
+    if (candidates->empty()) {
+      // Dirty-set empty rounds charge no scan cost — the sharded backend's
+      // idle epochs don't either, and firing-trace identity on delay specs
+      // needs both clocks to leap to the same absolute deadlines. O(log n)
+      // wakeup: straight to the earliest queued delay deadline, clamped by
+      // the run's deadline, never backwards.
+      const SimTime wake = ready_.next_wakeup();
+      if (wake == kNeverTime) return false;
+      advance_clock_toward(wake);
+      return true;
+    }
+  }
   const SimTime scan_cost{scan_per_guard_.ns * effort};
   now_ += scan_cost;
   stats_.sched_time += scan_cost;
 
-  if (candidates.empty()) return advance_to_wakeup();
+  if (candidates->empty()) return advance_to_wakeup();  // full_scan_ only
 
-  for (const FiringCandidate& c : candidates) {
+  for (const FiringCandidate& c : *candidates) {
     // Revalidate: an earlier firing in this round may have consumed state.
     if (!is_fireable(*c.transition, *c.module, now_)) continue;
     now_ += sched_per_transition_;
@@ -208,7 +242,11 @@ void ParallelSimScheduler::finalize_stats() {
 
 ThreadedScheduler::ThreadedScheduler(Specification& spec,
                                      const ExecutorConfig& cfg)
-    : ExecutorBase(spec, cfg.max_steps), threads_(cfg.threads) {}
+    : ExecutorBase(spec, cfg.max_steps),
+      threads_(cfg.threads),
+      ready_(spec),
+      full_scan_(cfg.full_scan),
+      verify_(cfg.verify_ready_set) {}
 
 int ThreadedScheduler::unit_count() const noexcept {
   return pool_ ? pool_->worker_count() : resolve_worker_count(threads_);
@@ -227,22 +265,57 @@ bool ThreadedScheduler::step() {
   else
     analysis_->refresh();
 
-  std::vector<FiringCandidate> candidates = collect_candidates();
-  if (candidates.empty()) return advance_to_wakeup();
+  if (full_scan_) {
+    std::vector<FiringCandidate> candidates = collect_candidates();
+    if (candidates.empty()) return advance_to_wakeup();
+    run_round(candidates);
+  } else {
+    const std::vector<FiringCandidate>& candidates = ready_.collect(now_);
+    if (verify_)
+      verify_against_full_scan(spec_.system_modules(), now_, candidates);
+    stats_.guards_examined += ready_.round_guards();
+    stats_.candidates_considered += candidates.size();
+    const bool scope_grew = ready_.round_allocated();
+    if (candidates.empty()) {
+      if (scope_grew) ++stats_.rounds_with_allocation;
+      const SimTime wake = ready_.next_wakeup();
+      if (wake == kNeverTime) return false;
+      advance_clock_toward(wake);
+      return true;
+    }
+    const std::size_t scratch_before = round_footprint();
+    run_round(candidates);
+    if (scope_grew || round_footprint() != scratch_before)
+      ++stats_.rounds_with_allocation;
+  }
 
+  ++stats_.rounds;
+  now_ += SimTime::from_us(1);  // nominal round tick so delay clauses advance
+  return true;
+}
+
+std::size_t ThreadedScheduler::round_footprint() const noexcept {
+  std::size_t f = conflicting_.capacity() + parallel_.capacity() +
+                  captures_.capacity();
+  for (const OutputCapture& c : captures_) f += c.capacity();
+  return f;
+}
+
+void ThreadedScheduler::run_round(
+    const std::vector<FiringCandidate>& candidates) {
   const std::size_t n = candidates.size();
   const SimTime fire_time = now_;
 
   // Split the round: a candidate conflicts when its module shares a channel
   // (or loss Rng) with another member of the round. O(n²) pair checks over
   // precomputed per-module signatures; rounds are small.
-  std::vector<char> conflicting(n, 0);
+  conflicting_.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       if (analysis_->modules_conflict(*candidates[i].module,
                                       *candidates[j].module)) {
-        conflicting[i] = 1;
-        conflicting[j] = 1;
+        conflicting_[i] = 1;
+        conflicting_[j] = 1;
       }
     }
   }
@@ -256,15 +329,14 @@ bool ThreadedScheduler::step() {
   // conflicting candidates touch disjoint channels by construction, so the
   // phase separation cannot reorder anything observable.
   RunObserver* obs = observer();
-  std::vector<std::size_t> parallel;
-  parallel.reserve(n);
+  parallel_.clear();
   std::uint64_t fired = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    if (!conflicting[i]) {
+    if (!conflicting_[i]) {
       if (obs != nullptr)
         obs->on_fire(*candidates[i].module, *candidates[i].transition,
                      fire_time);
-      parallel.push_back(i);
+      parallel_.push_back(i);
       continue;
     }
     if (!is_fireable(*candidates[i].transition, *candidates[i].module,
@@ -282,33 +354,35 @@ bool ThreadedScheduler::step() {
   // independent candidates touch disjoint channels, so immediate delivery
   // is indistinguishable from capture-and-commit — and the park/unpark
   // round-trip matters on small hosts where the default width resolves
-  // to 1.
-  const std::size_t p = parallel.size();
+  // to 1. The capture pool and index buffer persist across rounds (high-
+  // water sized), and the submitted lambdas capture 16 bytes so they fit
+  // std::function's inline storage: a steady-state round allocates nothing.
+  const std::size_t p = parallel_.size();
   if (p > 0) {
     if (p == 1 || effective_worker_width(threads_) < 2) {
-      for (std::size_t k : parallel) fire(candidates[k], fire_time);
+      for (std::size_t k : parallel_) fire(candidates[k], fire_time);
     } else {
-      std::vector<OutputCapture> captures(p);
+      if (captures_.size() < p) captures_.resize(p);
+      round_ctx_ = {candidates.data(), parallel_.data(), captures_.data(),
+                    fire_time};
       WorkerPool& pool = ensure_pool();
       const int nworkers = pool.worker_count();
       for (std::size_t k = 0; k < p; ++k) {
         pool.submit(static_cast<int>(k % static_cast<std::size_t>(nworkers)),
-                    [&captures, &candidates, &parallel, k, fire_time](int) {
-                      captures[k].begin();
-                      fire(candidates[parallel[k]], fire_time);
-                      captures[k].end();
+                    [this, k](int) {
+                      const RoundCtx& ctx = round_ctx_;
+                      ctx.captures[k].begin();
+                      fire(ctx.candidates[ctx.parallel[k]], ctx.fire_time);
+                      ctx.captures[k].end();
                     });
       }
       pool.run_epoch();
-      for (auto& cap : captures) cap.commit();
+      for (std::size_t k = 0; k < p; ++k) captures_[k].commit();
     }
     fired += p;
   }
 
   stats_.fired += fired;
-  ++stats_.rounds;
-  now_ += SimTime::from_us(1);  // nominal round tick so delay clauses advance
-  return true;
 }
 
 }  // namespace mcam::estelle

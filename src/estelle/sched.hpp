@@ -33,6 +33,7 @@
 #include "estelle/conflict.hpp"
 #include "estelle/executor.hpp"
 #include "estelle/module.hpp"
+#include "estelle/ready_set.hpp"
 #include "estelle/worker_pool.hpp"
 #include "sim/engine.hpp"
 
@@ -53,9 +54,10 @@ void fire(const FiringCandidate& c, SimTime now,
           RunObserver* observer = nullptr);
 
 /// Single-processor executor with virtual time. Models the classic
-/// centralized Estelle scheduler: each step scans the module tree (cost
-/// scan_per_guard per examined guard) and executes one firing set member at
-/// a time.
+/// centralized Estelle scheduler: each step evaluates the dirty-set ready
+/// modules (cost scan_per_guard per examined guard; ExecutorConfig::full_scan
+/// restores the tree-walking legacy behavior) and executes one firing set
+/// member at a time.
 class SequentialScheduler : public ExecutorBase {
  public:
   /// Backends configure themselves straight from ExecutorConfig (the single
@@ -73,6 +75,9 @@ class SequentialScheduler : public ExecutorBase {
 
   SimTime sched_per_transition_;
   SimTime scan_per_guard_;
+  SpecReadySet ready_;
+  bool full_scan_;
+  bool verify_;
 };
 
 /// Parallel executor over the simulated multiprocessor. Round-based: each
@@ -137,6 +142,12 @@ class ThreadedScheduler : public ExecutorBase {
 
  private:
   bool step() override;
+  /// Execute one collected round (shared by the ready-set and full-scan
+  /// paths). `candidates` must stay valid across the call.
+  void run_round(const std::vector<FiringCandidate>& candidates);
+  /// Total reserved capacity of the persistent round scratch (allocation
+  /// accounting: a steady-state round must not move this).
+  [[nodiscard]] std::size_t round_footprint() const noexcept;
   /// The pool at this round's effective width (RunOptions::worker_count when
   /// set, else the configured count).
   WorkerPool& ensure_pool();
@@ -146,6 +157,25 @@ class ThreadedScheduler : public ExecutorBase {
   /// Built lazily on the first round (the constructor may precede
   /// Specification::initialize() in principle; rounds cannot).
   std::unique_ptr<ConflictAnalysis> analysis_;
+  SpecReadySet ready_;
+  bool full_scan_;
+  bool verify_;
+  // Persistent round scratch (high-water sized; steady-state rounds never
+  // allocate): the conflict split, the deferred-candidate indices, and the
+  // per-candidate output-capture pool the workers write into.
+  std::vector<char> conflicting_;
+  std::vector<std::size_t> parallel_;
+  std::vector<OutputCapture> captures_;
+  /// What the ≤16-byte worker lambdas ([this, k] — small enough for
+  /// std::function's inline storage, so submitting tasks does not allocate)
+  /// read instead of capturing it.
+  struct RoundCtx {
+    const FiringCandidate* candidates = nullptr;
+    const std::size_t* parallel = nullptr;
+    OutputCapture* captures = nullptr;
+    SimTime fire_time{};
+  };
+  RoundCtx round_ctx_;
 };
 
 }  // namespace mcam::estelle

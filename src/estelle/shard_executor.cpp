@@ -11,7 +11,9 @@ ShardedExecutor::ShardedExecutor(Specification& spec,
     : ExecutorBase(spec, cfg.max_steps),
       workers_(cfg.threads),
       sched_per_transition_(cfg.sched_per_transition),
-      scan_per_guard_(cfg.scan_per_guard) {}
+      scan_per_guard_(cfg.scan_per_guard),
+      full_scan_(cfg.full_scan),
+      verify_(cfg.verify_ready_set) {}
 
 int ShardedExecutor::unit_count() const noexcept {
   if (pool_) return pool_->worker_count();
@@ -48,39 +50,105 @@ WorkerPool& ShardedExecutor::ensure_pool() {
   return *pool_;
 }
 
+void ShardedExecutor::reseed_ready() {
+  seeded_ = true;
+  seen_version_ = spec_.topology_version();
+  // Queued ledger entries may point at destroyed modules; forget them
+  // without looking, then rebuild from the live tree.
+  spec_.ready_ledger().clear_unsafe();
+  std::uint32_t preorder = 0;
+  spec_.root().for_each(
+      [&](Module& m) { ReadyScope::reset_module(m, preorder++); });
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].ready.clear();
+    for (Module* m : analysis_->shards()[s].modules) shards_[s].ready.mark(*m);
+  }
+}
+
 std::size_t ShardedExecutor::collect_epoch() {
-  std::size_t active = 0;
+  // Phase 1 of the two-phase mailbox, for every shard first: accept
+  // everything other shards sent since its last round, raising the clock to
+  // the watermark so no message is processed "before" it was sent. Each
+  // accepted arrival marks its module in the ready ledger, so the drain
+  // below routes it into the owning shard's ready set this same epoch.
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     ShardState& shard = shards_[s];
     const ShardInfo& info = analysis_->shards()[s];
-    // Phase 1 of the two-phase mailbox: accept everything other shards sent
-    // since this shard's last round, raising the clock to the watermark so
-    // no message is processed "before" it was sent.
     SimTime watermark = shard.clock;
     for (Module* m : info.modules)
       for (const auto& ip : m->ips()) ip->drain_transfers(&watermark);
     if (watermark > shard.clock) shard.clock = watermark;
-
-    shard.scan_effort = 0;
-    shard.candidates =
-        collect_firing_set(*info.system_module, shard.clock,
-                           &shard.scan_effort);
-    if (shard.candidates.empty() && shard.clock < now_) {
-      // An idle shard stops advancing its own clock, but other shards keep
-      // running; pull it up to the executor clock every epoch (system
-      // modules are asynchronous, so this is always legal) so its delay
-      // clauses mature interleaved with the busy shards' work rather than
-      // only at global quiescence.
-      shard.clock = now_;
-      shard.candidates =
-          collect_firing_set(*info.system_module, shard.clock,
-                             &shard.scan_effort);
-    }
     shard.epoch_busy = SimTime{};
     shard.epoch_sched = SimTime{};
     shard.epoch_fired = 0;
-    if (!shard.candidates.empty()) ++active;
+    shard.scan_effort = 0;
+    shard.round_candidates = nullptr;
   }
+
+  if (!full_scan_) {
+    // Route dirty modules to their shards' ready sets (reseeding wholesale
+    // when the topology moved, another consumer drained the ledger before
+    // us, or this is the first epoch).
+    ReadyLedger& ledger = spec_.ready_ledger();
+    const bool owner_changed = ledger.acquire(this);
+    if (!seeded_ || owner_changed ||
+        seen_version_ != spec_.topology_version()) {
+      reseed_ready();
+    } else {
+      ledger.drain([this](Module& m) {
+        const int s = m.shard();
+        if (s >= 0 && s < static_cast<int>(shards_.size()))
+          shards_[static_cast<std::size_t>(s)].ready.mark(m);
+      });
+    }
+  }
+
+  std::size_t active = 0;
+  bool allocated =
+      spec_.ready_ledger().capacity() != ledger_capacity_seen_;
+  ledger_capacity_seen_ = spec_.ready_ledger().capacity();
+  std::uint64_t considered = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ShardState& shard = shards_[s];
+    const ShardInfo& info = analysis_->shards()[s];
+    if (full_scan_) {
+      shard.legacy_candidates = collect_firing_set(
+          *info.system_module, shard.clock, &shard.scan_effort);
+      if (shard.legacy_candidates.empty() && shard.clock < now_) {
+        // An idle shard stops advancing its own clock, but other shards
+        // keep running; pull it up to the executor clock every epoch
+        // (system modules are asynchronous, so this is always legal) so its
+        // delay clauses mature interleaved with the busy shards' work
+        // rather than only at global quiescence.
+        shard.clock = now_;
+        shard.legacy_candidates = collect_firing_set(
+            *info.system_module, shard.clock, &shard.scan_effort);
+      }
+      shard.round_candidates = &shard.legacy_candidates;
+      allocated = true;  // the legacy path allocates per epoch by design
+    } else {
+      const std::vector<FiringCandidate>* cands =
+          &shard.ready.collect(shard.clock);
+      shard.scan_effort += static_cast<int>(shard.ready.round_guards());
+      allocated = allocated || shard.ready.round_allocated();
+      if (cands->empty() && shard.clock < now_) {
+        // Same idle-shard clock pull-up as above; re-collecting pops the
+        // delay deadlines the jump matured.
+        shard.clock = now_;
+        cands = &shard.ready.collect(shard.clock);
+        shard.scan_effort += static_cast<int>(shard.ready.round_guards());
+        allocated = allocated || shard.ready.round_allocated();
+      }
+      if (verify_)
+        verify_against_full_scan({info.system_module}, shard.clock, *cands);
+      shard.round_candidates = cands;
+    }
+    stats_.guards_examined += static_cast<std::uint64_t>(shard.scan_effort);
+    considered += shard.round_candidates->size();
+    if (!shard.round_candidates->empty()) ++active;
+  }
+  stats_.candidates_considered += considered;
+  if (allocated) ++stats_.rounds_with_allocation;
   return active;
 }
 
@@ -93,7 +161,7 @@ void ShardedExecutor::run_shard_round(ShardState& shard, int shard_id) {
   shard.clock += scan_cost;
   shard.epoch_sched += scan_cost;
 
-  for (const FiringCandidate& c : shard.candidates) {
+  for (const FiringCandidate& c : *shard.round_candidates) {
     // Same revalidation discipline as the sequential scheduler: an earlier
     // firing of this round (same shard, same thread) may have consumed the
     // state this candidate depends on.
@@ -111,7 +179,10 @@ void ShardedExecutor::run_shard_round(ShardState& shard, int shard_id) {
   }
   ++shard.rounds;
   shard.fired += shard.epoch_fired;
-  shard.candidates.clear();
+  // The dirty-set buffer belongs to the shard's ReadyScope (overwritten at
+  // the next collect); only the legacy full-scan buffer needs clearing.
+  shard.legacy_candidates.clear();
+  shard.round_candidates = nullptr;
 }
 
 bool ShardedExecutor::step() {
@@ -122,11 +193,25 @@ bool ShardedExecutor::step() {
   announce_ = observer() != nullptr;
 
   // collect_epoch keeps idle shards synced to now_, so when nothing is
-  // active every state-entry stamp is <= now_ and the global wakeup scan
-  // below sees every pending delay.
+  // active every state-entry stamp is <= now_ and the wakeup machinery
+  // below (per-shard deadline heaps, or the legacy tree scan) sees every
+  // pending delay.
   const std::size_t active = collect_epoch();
   if (active == 0) {
-    if (!advance_to_wakeup()) return false;  // quiescent
+    if (full_scan_) {
+      if (!advance_to_wakeup()) return false;  // quiescent
+    } else {
+      // O(log n) wakeup: leap to the earliest deadline queued in any
+      // shard's heap, clamped by the run's deadline; the next epoch's
+      // per-shard collects pop whatever the jump matured.
+      SimTime wake = kNeverTime;
+      for (const ShardState& shard : shards_) {
+        const SimTime d = shard.ready.next_deadline();
+        if (d < wake) wake = d;
+      }
+      if (wake == kNeverTime) return false;  // quiescent
+      advance_clock_toward(wake);
+    }
     for (ShardState& shard : shards_)
       if (shard.clock < now_) shard.clock = now_;
     return true;
@@ -138,28 +223,32 @@ bool ShardedExecutor::step() {
   // conflicts, or an epoch with a single active shard, runs inline on this
   // thread: still sharded and mailbox-routed, but serialized, hence
   // race-free whatever the spec does.
-  std::vector<int> active_ids;
-  active_ids.reserve(active);
+  active_ids_.clear();
   for (std::size_t s = 0; s < shards_.size(); ++s)
-    if (!shards_[s].candidates.empty()) active_ids.push_back(static_cast<int>(s));
+    if (shards_[s].round_candidates != nullptr &&
+        !shards_[s].round_candidates->empty())
+      active_ids_.push_back(static_cast<int>(s));
 
   // A width-1 epoch runs inline: a single worker adds nothing but a
   // park/unpark round-trip per epoch (it matters on small hosts, where the
   // default width resolves to 1).
   if (!analysis_->conflict_free() || active < 2 ||
       effective_workers() < 2) {
-    for (int s : active_ids)
+    for (int s : active_ids_)
       run_shard_round(shards_[static_cast<std::size_t>(s)], s);
   } else {
     WorkerPool& pool = ensure_pool();
     const int nworkers = pool.worker_count();
-    for (int s : active_ids) {
+    for (int s : active_ids_) {
       ShardState& shard = shards_[static_cast<std::size_t>(s)];
-      const int home = shard.owner % nworkers;
-      pool.submit(home, [this, &shard, s, home](int w) {
-        if (w != home) ++shard.steals;
-        shard.owner = w;  // ownership follows the thief across epochs
-        run_shard_round(shard, s);
+      shard.home = shard.owner % nworkers;
+      // The 16-byte [this, s] capture fits std::function's inline storage:
+      // dealing an epoch allocates nothing.
+      pool.submit(shard.home, [this, s](int w) {
+        ShardState& sh = shards_[static_cast<std::size_t>(s)];
+        if (w != sh.home) ++sh.steals;
+        sh.owner = w;  // ownership follows the thief across epochs
+        run_shard_round(sh, s);
       });
     }
     pool.run_epoch();

@@ -59,6 +59,7 @@
 #include "estelle/conflict.hpp"
 #include "estelle/executor.hpp"
 #include "estelle/module.hpp"
+#include "estelle/ready_set.hpp"
 #include "estelle/worker_pool.hpp"
 
 namespace mcam::estelle {
@@ -99,8 +100,19 @@ class ShardedExecutor : public ExecutorBase {
     std::uint64_t rounds = 0;
     std::uint64_t steals = 0;
     int owner = 0;  // worker that ran the shard last (steals move it)
+    int home = 0;   // pool slot the shard was dealt to this epoch
+    /// The shard's event-driven scheduling state — persistent ready set,
+    /// fireable cache, delay-deadline heap, candidate buffer. It lives here
+    /// (not on any worker), so whole-shard stealing moves it implicitly and
+    /// intact. Written in phase 1 on the run thread; the owning worker only
+    /// reads the collected candidate buffer.
+    ReadyScope ready;
+    /// This epoch's firing set: points at `ready`'s buffer (dirty-set mode)
+    /// or at `legacy_candidates` (ExecutorConfig::full_scan). Null when the
+    /// shard is idle this epoch.
+    const std::vector<FiringCandidate>* round_candidates = nullptr;
     // Per-epoch scratch, written in phase 1 / by the owning worker only:
-    std::vector<FiringCandidate> candidates;
+    std::vector<FiringCandidate> legacy_candidates;
     std::vector<FiredEvent> fired_log;
     int scan_effort = 0;
     SimTime epoch_busy{};
@@ -112,6 +124,9 @@ class ShardedExecutor : public ExecutorBase {
   void decorate_report(RunReport& report) override;
 
   void ensure_analysis();
+  /// Full reseed of every shard's ready scope (first epoch, topology
+  /// change, or ledger-consumer handoff).
+  void reseed_ready();
   /// This run's effective pool width: RunOptions::worker_count when set,
   /// else the configured count, capped at the shard count (min 1).
   [[nodiscard]] int effective_workers() const noexcept;
@@ -128,9 +143,15 @@ class ShardedExecutor : public ExecutorBase {
   bool announce_ = false;
   SimTime sched_per_transition_;
   SimTime scan_per_guard_;
+  bool full_scan_;
+  bool verify_;
   std::unique_ptr<ConflictAnalysis> analysis_;
   std::unique_ptr<WorkerPool> pool_;
   std::vector<ShardState> shards_;
+  std::vector<int> active_ids_;  // persistent epoch scratch
+  std::uint64_t seen_version_ = ~0ull;
+  bool seeded_ = false;
+  std::size_t ledger_capacity_seen_ = 0;  // allocation accounting
 };
 
 }  // namespace mcam::estelle
