@@ -9,6 +9,7 @@
 
 #include <thread>
 
+#include "estelle/free_executor.hpp"
 #include "estelle/module.hpp"
 #include "estelle/sched.hpp"
 #include "estelle/shard_executor.hpp"
@@ -69,6 +70,8 @@ const char* builtin_kind_name(ExecutorKind k) noexcept {
       return "threaded";
     case ExecutorKind::Sharded:
       return "sharded";
+    case ExecutorKind::FreeRunning:
+      return "free-running";
   }
   return nullptr;
 }
@@ -229,19 +232,40 @@ RunReport ExecutorBase::run(const RunOptions& opts) {
   const std::uint64_t prev_nested = nested_fired_;
   nested_fired_ = 0;
 
-  // Bound idle clock jumps by this run's earliest deadline (saved/restored
-  // for reentrancy).
+  // Bound idle clock jumps by this run's earliest deadline, and expose the
+  // tightest step budget / predicate presence so burst-running backends can
+  // pace themselves to exact cutoffs (saved/restored for reentrancy).
   const SimTime prev_deadline = run_deadline_;
+  const std::uint64_t prev_step_limit = run_step_limit_;
+  const std::uint64_t prev_run_steps = run_steps_;
+  const bool prev_has_predicate = run_has_predicate_;
   run_deadline_ = kNeverTime;
-  for (const StopCondition& c : opts.stop)
+  run_step_limit_ = std::numeric_limits<std::uint64_t>::max();
+  run_steps_ = 0;
+  run_has_predicate_ = false;
+  for (const StopCondition& c : opts.stop) {
     if (c.kind() == StopCondition::Kind::Deadline &&
         c.deadline_time() < run_deadline_)
       run_deadline_ = c.deadline_time();
+    if (c.kind() == StopCondition::Kind::StepLimit &&
+        c.step_budget() < run_step_limit_)
+      run_step_limit_ = c.step_budget();
+    if (c.kind() == StopCondition::Kind::Predicate) run_has_predicate_ = true;
+  }
   struct DeadlineScope {
     ExecutorBase& self;
     SimTime prev;
-    ~DeadlineScope() { self.run_deadline_ = prev; }
-  } deadline_scope{*this, prev_deadline};
+    std::uint64_t prev_limit;
+    std::uint64_t prev_steps;
+    bool prev_pred;
+    ~DeadlineScope() {
+      self.run_deadline_ = prev;
+      self.run_step_limit_ = prev_limit;
+      self.run_steps_ = prev_steps;
+      self.run_has_predicate_ = prev_pred;
+    }
+  } deadline_scope{*this, prev_deadline, prev_step_limit, prev_run_steps,
+                   prev_has_predicate};
 
   // Per-run worker-count override (saved/restored for reentrancy; backends
   // read it via requested_worker_count() when sizing their pool).
@@ -291,11 +315,17 @@ RunReport ExecutorBase::run(const RunOptions& opts) {
         reason = *stop;
         break;
       }
+      last_step_rounds_ = 1;
       if (!step()) {
         reason = StopReason::Quiescent;
         break;
       }
-      ++steps;
+      // A burst-running backend (FreeRunning) may have completed many global
+      // rounds inside this one step(); count them all so steps and the stop
+      // conditions keep their round semantics. on_round_end then fires once
+      // per burst, with the cumulative round count.
+      steps += last_step_rounds_;
+      run_steps_ = steps;
       chain.on_round_end(*this, steps);
     }
   } catch (...) {
@@ -361,6 +391,11 @@ ExecutorFactory::ExecutorFactory() {
       ExecutorKind::Sharded, builtin_kind_name(ExecutorKind::Sharded),
       [](Specification& spec, const ExecutorConfig& cfg) {
         return std::make_unique<ShardedExecutor>(spec, cfg);
+      });
+  register_backend(
+      ExecutorKind::FreeRunning, builtin_kind_name(ExecutorKind::FreeRunning),
+      [](Specification& spec, const ExecutorConfig& cfg) {
+        return std::make_unique<FreeRunningExecutor>(spec, cfg);
       });
 }
 

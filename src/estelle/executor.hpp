@@ -109,11 +109,12 @@ enum class ExecutorKind {
   ParallelSim,  // simulated multiprocessor (the KSR1 experiments, §5)
   Threaded,     // real std::thread execution, deterministic commit order
   Sharded,      // work-stealing real threads, one shard per system module
+  FreeRunning,  // barrier-free continuation shards firing from ready sets
 };
 
 inline constexpr ExecutorKind kAllExecutorKinds[] = {
     ExecutorKind::Sequential, ExecutorKind::ParallelSim,
-    ExecutorKind::Threaded, ExecutorKind::Sharded};
+    ExecutorKind::Threaded, ExecutorKind::Sharded, ExecutorKind::FreeRunning};
 
 /// Name of a kind — built-in or registered with ExecutorFactory.
 [[nodiscard]] const char* executor_kind_name(ExecutorKind k) noexcept;
@@ -168,6 +169,12 @@ class StopCondition {
   [[nodiscard]] Kind kind() const noexcept { return kind_; }
   /// The deadline of a Deadline condition (meaningless for other kinds).
   [[nodiscard]] SimTime deadline_time() const noexcept { return deadline_; }
+  /// The round budget of a StepLimit condition (meaningless for other
+  /// kinds). Backends that run many rounds per step() — the free-running
+  /// executor — bound their run-ahead with it so the cutoff stays exact.
+  [[nodiscard]] std::uint64_t step_budget() const noexcept {
+    return max_steps_;
+  }
   [[nodiscard]] StopReason reason() const noexcept;
   /// True when met; `now` is the virtual clock, `steps` the rounds completed
   /// so far in this run.
@@ -243,6 +250,22 @@ struct ShardRunStats {
   SimTime clock{};           // shard-local virtual clock
 };
 
+/// Continuation-dispatch statistics, reported by ExecutorKind::FreeRunning
+/// (all-zero under other backends). Counters are executor-lifetime.
+struct FreeRunningStats {
+  /// Shard continuation parks: idle (passive), firing-log backpressure,
+  /// round-limit / deadline pacing, and neighbor-gate waits.
+  std::uint64_t parks = 0;
+  /// Passive shards unparked by a cross-shard mailbox delivery.
+  std::uint64_t wakes = 0;
+  /// Max occupancy any per-shard firing log (SPSC ring) ever reached.
+  std::uint64_t log_high_water = 0;
+  /// Rounds served by the epoch-based sharded path instead (specification
+  /// not proven conflict-free, legacy full_scan mode, or a pool narrower
+  /// than the shard count).
+  std::uint64_t fallback_rounds = 0;
+};
+
 /// Per-module firing summary, published into RunReport by a MetricsObserver
 /// (metrics.hpp) from its on_report hook; empty unless one observed the run.
 struct ModuleFiringMetrics {
@@ -266,6 +289,8 @@ struct RunReport {
   std::uint64_t candidates_considered = 0;
   std::uint64_t rounds_with_allocation = 0;
   std::vector<ShardRunStats> shards;  // per-shard stats (Sharded backend)
+  /// Continuation-dispatch counters (FreeRunning backend; zero elsewhere).
+  FreeRunningStats free_running;
   /// Filled by MetricsObserver::on_report when one is attached:
   std::vector<ModuleFiringMetrics> module_metrics;
   /// Histogram of virtual-time gaps between consecutive firings of the same
@@ -387,6 +412,24 @@ class ExecutorBase : public Executor {
   /// none); bounds idle clock jumps — both advance_to_wakeup()'s tree scan
   /// and the backends' deadline-heap jumps clamp against it.
   SimTime run_deadline_{std::numeric_limits<std::int64_t>::max()};
+  /// Global rounds the last step() call completed, consumed (and reset to 1)
+  /// by the run loop: `steps += last_step_rounds_`. Every epoch/round-based
+  /// backend leaves it at 1; the free-running backend executes whole bursts
+  /// of rounds inside one step() and reports the burst size here so
+  /// RunReport::steps and the StepLimit accounting keep meaning "global
+  /// rounds", whatever the dispatch style.
+  std::uint64_t last_step_rounds_ = 1;
+  /// Tightest StopCondition::max_steps() budget of the active run (max u64
+  /// when none) and the rounds completed so far in it — a burst-running
+  /// backend bounds its run-ahead to `run_step_limit_ - run_steps_` (also
+  /// clamped by the step_limit_ backstop) so the cutoff is exact.
+  std::uint64_t run_step_limit_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t run_steps_ = 0;
+  /// True when the active run has a predicate stop condition: a
+  /// burst-running backend must then pace itself to one round per step() so
+  /// the predicate is evaluated between rounds on a quiesced world, exactly
+  /// like the round-based loops.
+  bool run_has_predicate_ = false;
 
  private:
   class Chain;

@@ -18,6 +18,7 @@ namespace {
 thread_local OutputCapture* t_capture = nullptr;
 thread_local int t_shard = kNoShard;
 thread_local SimTime t_shard_now{};
+thread_local std::uint64_t t_shard_round = 0;
 
 /// Striped lock pool for the cross-shard transfer mailboxes. Striping keeps
 /// the per-IP footprint at one vector while still letting unrelated channels
@@ -56,15 +57,18 @@ void OutputCapture::commit() {
   items_.clear();
 }
 
-ShardExecutionScope::ShardExecutionScope(int shard, SimTime now)
-    : prev_shard_(t_shard), prev_now_(t_shard_now) {
+ShardExecutionScope::ShardExecutionScope(int shard, SimTime now,
+                                         std::uint64_t round)
+    : prev_shard_(t_shard), prev_now_(t_shard_now), prev_round_(t_shard_round) {
   t_shard = shard;
   t_shard_now = now;
+  t_shard_round = round;
 }
 
 ShardExecutionScope::~ShardExecutionScope() {
   t_shard = prev_shard_;
   t_shard_now = prev_now_;
+  t_shard_round = prev_round_;
 }
 
 int ShardExecutionScope::current_shard() noexcept { return t_shard; }
@@ -76,11 +80,19 @@ void InteractionPoint::deliver(Interaction msg) {
   }
   if (t_shard != kNoShard && owner_.shard() != t_shard) {
     // Two-phase cross-shard handoff: park in the transfer mailbox, stamped
-    // with the sender shard's clock; the owning shard drains at its next
-    // epoch boundary (the drain is what marks the owner ready).
-    std::lock_guard<std::mutex> lock(stripe_of(this));
-    transfers_.emplace_back(std::move(msg), t_shard_now);
-    transfer_count_.store(transfers_.size(), std::memory_order_release);
+    // with the sender shard's clock and round; the owning shard drains at
+    // its next epoch boundary or free-running round (the drain is what marks
+    // the owner ready). The wake sink fires after the store is published so
+    // a passive free-running shard can be unparked instead of waiting for a
+    // coordinator epoch.
+    {
+      std::lock_guard<std::mutex> lock(stripe_of(this));
+      transfers_.push_back({std::move(msg), t_shard_now, t_shard_round});
+      transfer_count_.store(transfers_.size(), std::memory_order_release);
+    }
+    if (Specification* spec = owner_.specification())
+      if (CrossShardWakeSink* sink = spec->cross_shard_wake_sink())
+        sink->on_cross_shard_delivery(owner_.shard(), t_shard_round);
     return;
   }
   // Only the queue head is offered to when-clauses, so fireability changes
@@ -90,20 +102,35 @@ void InteractionPoint::deliver(Interaction msg) {
   if (new_head) owner_.mark_ready();
 }
 
-std::size_t InteractionPoint::drain_transfers(SimTime* watermark) {
-  // Empty-mailbox fast path, lock-free: epoch boundaries are separated from
-  // worker deliveries by the pool join, so a zero count really means empty.
+std::size_t InteractionPoint::drain_transfers_until(
+    std::uint64_t max_round, SimTime* watermark,
+    std::uint64_t* min_remaining) {
+  // Empty-mailbox fast path, lock-free: drains are separated from foreign
+  // deliveries by the pool join (epoch backends) or the sender-progress gate
+  // (free-running), so a zero count really means empty-for-our-round.
   if (transfer_count_.load(std::memory_order_acquire) == 0) return 0;
   std::lock_guard<std::mutex> lock(stripe_of(this));
-  const std::size_t n = transfers_.size();
-  for (auto& [msg, sent_at] : transfers_) {
-    if (watermark != nullptr && sent_at > *watermark) *watermark = sent_at;
-    inbox_.push_back(std::move(msg));
+  std::size_t moved = 0;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < transfers_.size(); ++i) {
+    Transfer& t = transfers_[i];
+    if (t.round <= max_round) {
+      if (watermark != nullptr && t.sent_at > *watermark) *watermark = t.sent_at;
+      inbox_.push_back(std::move(t.msg));
+      ++moved;
+    } else {
+      if (min_remaining != nullptr && t.round < *min_remaining)
+        *min_remaining = t.round;
+      // Guard the self-move: keep == i whenever no earlier entry matured,
+      // and a self-move-assignment would empty the interaction's payload.
+      if (keep != i) transfers_[keep] = std::move(t);
+      ++keep;
+    }
   }
-  transfers_.clear();
-  transfer_count_.store(0, std::memory_order_release);
-  if (n > 0) owner_.mark_ready();
-  return n;
+  transfers_.resize(keep);
+  transfer_count_.store(keep, std::memory_order_release);
+  if (moved > 0) owner_.mark_ready();
+  return moved;
 }
 
 void InteractionPoint::clear() noexcept {

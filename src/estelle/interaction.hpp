@@ -26,6 +26,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <optional>
 #include <string>
 #include <utility>
@@ -66,6 +67,25 @@ struct Interaction {
 };
 
 class Module;
+
+/// Sentinel round stamp meaning "accept every parked transfer".
+inline constexpr std::uint64_t kAllRounds =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Cross-shard wake signal for continuation-style executors. A sink
+/// registered on the Specification is invoked after deliver() parks an
+/// interaction in a foreign shard's transfer mailbox: `shard` is the
+/// destination shard, `sender_round` the sending shard's in-flight global
+/// round (0 under the epoch-based backends). Invoked from whatever worker
+/// thread executed the output, after the mailbox store is published — the
+/// free-running executor uses it to unpark a passive destination shard
+/// instead of waiting for a coordinator epoch.
+class CrossShardWakeSink {
+ public:
+  virtual ~CrossShardWakeSink() = default;
+  virtual void on_cross_shard_delivery(int shard,
+                                       std::uint64_t sender_round) noexcept = 0;
+};
 
 /// An interaction point. Owned by a module; optionally connected to exactly
 /// one peer IP (full-duplex).
@@ -125,7 +145,19 @@ class InteractionPoint {
   /// interactions moved; `watermark` (if given) is raised to the latest
   /// sender-side timestamp seen, which the sharded executor uses to keep the
   /// receiving shard's clock ahead of every message it has accepted.
-  std::size_t drain_transfers(SimTime* watermark = nullptr);
+  std::size_t drain_transfers(SimTime* watermark = nullptr) {
+    return drain_transfers_until(kAllRounds, watermark, nullptr);
+  }
+  /// Round-bounded drain for the free-running executor: accept only arrivals
+  /// whose sender round stamp is <= `max_round` (a shard collecting its
+  /// global round r passes r-1, so a message sent during round k becomes
+  /// visible in round k+1 — exactly the epoch barrier's visibility rule,
+  /// enforced per message instead of globally). Later-stamped arrivals stay
+  /// parked; `min_remaining` (if given) is lowered to the smallest round
+  /// stamp left behind, which an idle shard uses to leap its round counter
+  /// to the next arrival instead of spinning through empty rounds.
+  std::size_t drain_transfers_until(std::uint64_t max_round, SimTime* watermark,
+                                    std::uint64_t* min_remaining);
   /// True when cross-shard arrivals are waiting to be drained.
   [[nodiscard]] bool has_pending_transfers() const;
 
@@ -145,12 +177,20 @@ class InteractionPoint {
   std::string name_;
   InteractionPoint* peer_ = nullptr;
   std::deque<Interaction> inbox_;
+  /// One parked cross-shard arrival: the interaction plus the sender shard's
+  /// clock and in-flight global round at output() time.
+  struct Transfer {
+    Interaction msg;
+    SimTime sent_at{};
+    std::uint64_t round = 0;
+  };
   /// Cross-shard arrivals parked until the owning shard's next epoch
-  /// boundary, stamped with the sender shard's clock. Guarded by a striped
-  /// mutex pool (see interaction.cpp), not a per-IP mutex, so idle IPs cost
-  /// nothing; `transfer_count_` mirrors the size so the per-epoch drain
-  /// sweep can skip empty mailboxes without touching a lock.
-  std::vector<std::pair<Interaction, SimTime>> transfers_;
+  /// boundary (or free-running drain), stamped with the sender shard's clock
+  /// and round. Guarded by a striped mutex pool (see interaction.cpp), not a
+  /// per-IP mutex, so idle IPs cost nothing; `transfer_count_` mirrors the
+  /// size so the per-epoch drain sweep can skip empty mailboxes without
+  /// touching a lock.
+  std::vector<Transfer> transfers_;
   std::atomic<std::size_t> transfer_count_{0};
   double loss_probability_ = 0.0;
   common::Rng* loss_rng_ = nullptr;
@@ -203,13 +243,15 @@ class OutputCapture {
 };
 
 /// While alive on a thread, marks that thread as executing shard `shard` at
-/// shard-local time `now`: deliveries to IPs of other shards detour into
-/// their transfer mailboxes (stamped with `now`) instead of touching the
-/// foreign inbox. The sharded executor installs one scope per shard round;
-/// everything else runs unscoped and delivers directly.
+/// shard-local time `now` in global round `round`: deliveries to IPs of
+/// other shards detour into their transfer mailboxes (stamped with `now` and
+/// `round`) instead of touching the foreign inbox. The sharded executor
+/// installs one scope per shard round (round stamp 0 — its epoch barrier
+/// makes per-message rounds redundant); the free-running executor stamps its
+/// shard-local global round so receivers can enforce round-exact visibility.
 class ShardExecutionScope {
  public:
-  ShardExecutionScope(int shard, SimTime now);
+  ShardExecutionScope(int shard, SimTime now, std::uint64_t round = 0);
   ~ShardExecutionScope();
   ShardExecutionScope(const ShardExecutionScope&) = delete;
   ShardExecutionScope& operator=(const ShardExecutionScope&) = delete;
@@ -220,6 +262,7 @@ class ShardExecutionScope {
  private:
   int prev_shard_;
   SimTime prev_now_;
+  std::uint64_t prev_round_;
 };
 
 }  // namespace mcam::estelle

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "estelle/ready_set.hpp"
+
 namespace mcam::estelle {
 
 namespace {
@@ -281,7 +283,31 @@ const Transition* Module::select_fireable(common::SimTime now,
   return nullptr;
 }
 
+namespace {
+
+// The free-running executor's per-thread mark routing (LocalReadyScopeBinding).
+thread_local ReadyScope* t_ready_scope = nullptr;
+thread_local int t_ready_shard = kNoShard;
+
+}  // namespace
+
+LocalReadyScopeBinding::LocalReadyScopeBinding(ReadyScope& scope,
+                                               int shard) noexcept
+    : prev_scope_(t_ready_scope), prev_shard_(t_ready_shard) {
+  t_ready_scope = &scope;
+  t_ready_shard = shard;
+}
+
+LocalReadyScopeBinding::~LocalReadyScopeBinding() {
+  t_ready_scope = prev_scope_;
+  t_ready_shard = prev_shard_;
+}
+
 void Module::mark_ready() noexcept {
+  if (t_ready_scope != nullptr && shard_ == t_ready_shard) {
+    t_ready_scope->mark(*this);
+    return;
+  }
   if (spec_ != nullptr) spec_->ready_ledger().mark(*this);
 }
 

@@ -141,6 +141,7 @@ class TransitionBuilder {
 enum class DispatchKind { LinearScan, StateTable };
 
 class Specification;
+class ReadyScope;
 
 /// Side-channel of one fireability evaluation, filled by is_fireable() /
 /// select_fireable() when the caller passes one. The event-driven schedulers
@@ -429,6 +430,18 @@ class Specification {
   /// The dirty-module queue feeding event-driven scheduling (ready_set.hpp).
   [[nodiscard]] ReadyLedger& ready_ledger() noexcept { return ready_ledger_; }
 
+  /// Cross-shard delivery wake signal (interaction.hpp). The free-running
+  /// executor registers itself here for the duration of a session so a
+  /// passive shard is unparked the moment a foreign shard sends to it;
+  /// nullptr (the default) means no one is listening. Atomic because the
+  /// registration races with worker-thread deliveries at session boundaries.
+  [[nodiscard]] CrossShardWakeSink* cross_shard_wake_sink() const noexcept {
+    return wake_sink_.load(std::memory_order_acquire);
+  }
+  void set_cross_shard_wake_sink(CrossShardWakeSink* sink) noexcept {
+    wake_sink_.store(sink, std::memory_order_release);
+  }
+
  private:
   std::string name_;
   /// Declared before root_ so it outlives every module's destructor (a
@@ -437,6 +450,29 @@ class Specification {
   std::unique_ptr<Module> root_;
   bool initialized_ = false;
   std::atomic<std::uint64_t> topology_version_{0};
+  std::atomic<CrossShardWakeSink*> wake_sink_{nullptr};
+};
+
+/// While alive on a thread, Module::mark_ready() calls for modules of
+/// `shard` route straight into `scope` — the ReadyScope owned and driven by
+/// the calling thread — instead of the specification-global ReadyLedger.
+/// This is what makes a free-running shard's dirty tracking lock-free: every
+/// fireability event a shard round produces (firing, state change, pop,
+/// same-shard delivery, drain) targets the shard's own modules, so it lands
+/// in the shard's own ready list with no mutex and no cross-shard routing
+/// pass. Marks for foreign-shard modules (possible only on specifications
+/// ill-formed beyond the Estelle channel contract) still fall through to the
+/// thread-safe global ledger.
+class LocalReadyScopeBinding {
+ public:
+  LocalReadyScopeBinding(ReadyScope& scope, int shard) noexcept;
+  ~LocalReadyScopeBinding();
+  LocalReadyScopeBinding(const LocalReadyScopeBinding&) = delete;
+  LocalReadyScopeBinding& operator=(const LocalReadyScopeBinding&) = delete;
+
+ private:
+  ReadyScope* prev_scope_;
+  int prev_shard_;
 };
 
 }  // namespace mcam::estelle

@@ -43,11 +43,34 @@ int ShardedExecutor::effective_workers() const noexcept {
                     std::max(1, analysis_->shard_count()));
 }
 
-WorkerPool& ShardedExecutor::ensure_pool() {
-  const int want = effective_workers();
-  if (!pool_ || pool_->worker_count() != want)
+WorkerPool& ShardedExecutor::ensure_pool_width(int want) {
+  if (!pool_ || pool_->worker_count() != want) {
+    // Quiesce first: a free-running session still has continuation tasks
+    // parked inside the old pool, and destroying it would join on them
+    // forever (the stranded-continuation bug this hook fixes).
+    before_pool_resize();
     pool_ = std::make_unique<WorkerPool>(want);
+  }
   return *pool_;
+}
+
+void ShardedExecutor::route_ready_ledger() {
+  // Route dirty modules to their shards' ready sets, reseeding wholesale
+  // when the topology moved, another consumer drained the ledger before us,
+  // or this is the first use. Shared by the epoch path (every epoch) and
+  // the free-running path (every session start), so the invalidation rules
+  // cannot diverge between them.
+  ReadyLedger& ledger = spec_.ready_ledger();
+  const bool owner_changed = ledger.acquire(this);
+  if (!seeded_ || owner_changed || seen_version_ != spec_.topology_version()) {
+    reseed_ready();
+  } else {
+    ledger.drain([this](Module& m) {
+      const int s = m.shard();
+      if (s >= 0 && s < static_cast<int>(shards_.size()))
+        shards_[static_cast<std::size_t>(s)].ready.mark(m);
+    });
+  }
 }
 
 void ShardedExecutor::reseed_ready() {
@@ -85,23 +108,7 @@ std::size_t ShardedExecutor::collect_epoch() {
     shard.round_candidates = nullptr;
   }
 
-  if (!full_scan_) {
-    // Route dirty modules to their shards' ready sets (reseeding wholesale
-    // when the topology moved, another consumer drained the ledger before
-    // us, or this is the first epoch).
-    ReadyLedger& ledger = spec_.ready_ledger();
-    const bool owner_changed = ledger.acquire(this);
-    if (!seeded_ || owner_changed ||
-        seen_version_ != spec_.topology_version()) {
-      reseed_ready();
-    } else {
-      ledger.drain([this](Module& m) {
-        const int s = m.shard();
-        if (s >= 0 && s < static_cast<int>(shards_.size()))
-          shards_[static_cast<std::size_t>(s)].ready.mark(m);
-      });
-    }
-  }
+  if (!full_scan_) route_ready_ledger();
 
   std::size_t active = 0;
   bool allocated =
@@ -246,12 +253,20 @@ bool ShardedExecutor::step() {
       // dealing an epoch allocates nothing.
       pool.submit(shard.home, [this, s](int w) {
         ShardState& sh = shards_[static_cast<std::size_t>(s)];
-        if (w != sh.home) ++sh.steals;
-        sh.owner = w;  // ownership follows the thief across epochs
+        // The helping coordinator (pseudo-worker id == worker_count()) is
+        // not a steal and does not re-home the shard: steals stays "a
+        // worker took it from another's queue", and affinity survives
+        // coordinator-heavy epochs on low-core hosts.
+        if (w < pool_->worker_count()) {
+          if (w != sh.home) ++sh.steals;
+          sh.owner = w;  // ownership follows the thief across epochs
+        }
         run_shard_round(sh, s);
       });
     }
-    pool.run_epoch();
+    // Coordinator participation: the run thread drains shard rounds
+    // alongside the workers instead of parking across the epoch barrier.
+    pool.run_epoch_helping();
   }
 
   // Announce-after-revalidation: replay each shard's log of *actual*

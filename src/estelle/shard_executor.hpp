@@ -85,7 +85,7 @@ class ShardedExecutor : public ExecutorBase {
   /// The persistent pool (null until the first parallel epoch).
   [[nodiscard]] const WorkerPool* pool() const noexcept { return pool_.get(); }
 
- private:
+ protected:
   /// One revalidated firing of a shard round, logged by the executing worker
   /// and replayed to observers on the coordinating thread after the epoch
   /// barrier (announce-after-revalidation).
@@ -124,6 +124,11 @@ class ShardedExecutor : public ExecutorBase {
   void decorate_report(RunReport& report) override;
 
   void ensure_analysis();
+  /// Claim the ready ledger and bring every shard's scope up to date:
+  /// reseed wholesale when invalidated, else route queued marks to their
+  /// shards (the single statement of the invalidation rules, shared by the
+  /// epoch and free-running paths).
+  void route_ready_ledger();
   /// Full reseed of every shard's ready scope (first epoch, topology
   /// change, or ledger-consumer handoff).
   void reseed_ready();
@@ -131,7 +136,15 @@ class ShardedExecutor : public ExecutorBase {
   /// else the configured count, capped at the shard count (min 1).
   [[nodiscard]] int effective_workers() const noexcept;
   /// The pool at this run's effective width.
-  WorkerPool& ensure_pool();
+  WorkerPool& ensure_pool() { return ensure_pool_width(effective_workers()); }
+  /// The pool at exactly `want` workers, quiescing any in-flight
+  /// long-running work first (before_pool_resize) so a mid-run width change
+  /// never strands a continuation inside the old pool's join.
+  WorkerPool& ensure_pool_width(int want);
+  /// Hook called before the persistent pool is torn down for a resize. The
+  /// free-running subclass ends its continuation session here; the epoch
+  /// path has nothing in flight between steps.
+  virtual void before_pool_resize() {}
   /// Drain + collect for every shard; returns the number of active shards.
   std::size_t collect_epoch();
   /// Execute one shard's round (worker context; ShardExecutionScope active).

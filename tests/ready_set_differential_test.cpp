@@ -87,8 +87,9 @@ TEST(ReadySetDifferential, VerifiedAgainstFullScanEveryRound) {
   const int n = spec_count();
   for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(n); ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
-    for (ExecutorKind kind : {ExecutorKind::Sequential, ExecutorKind::Threaded,
-                              ExecutorKind::Sharded}) {
+    for (ExecutorKind kind :
+         {ExecutorKind::Sequential, ExecutorKind::Threaded,
+          ExecutorKind::Sharded, ExecutorKind::FreeRunning}) {
       SCOPED_TRACE(executor_kind_name(kind));
       const Outcome out = run_mode(seed, kind, /*full_scan=*/false,
                                    /*verify=*/true);
@@ -103,8 +104,9 @@ TEST(ReadySetDifferential, ReadyAndFullScanModesAgree) {
   for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(n); ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     const specgen::GeneratedWorld probe = specgen::generate(seed);
-    for (ExecutorKind kind : {ExecutorKind::Sequential, ExecutorKind::Threaded,
-                              ExecutorKind::Sharded}) {
+    for (ExecutorKind kind :
+         {ExecutorKind::Sequential, ExecutorKind::Threaded,
+          ExecutorKind::Sharded, ExecutorKind::FreeRunning}) {
       SCOPED_TRACE(executor_kind_name(kind));
       const Outcome full = run_mode(seed, kind, /*full_scan=*/true, false);
       const Outcome ready = run_mode(seed, kind, /*full_scan=*/false, false);
@@ -202,8 +204,9 @@ TEST(ReadySetDifferential, SparseWorldExaminesOnlyActiveGuards) {
 }
 
 TEST(ReadySetDifferential, TopologyMutationInvalidatesReadyState) {
-  for (ExecutorKind kind : {ExecutorKind::Sequential, ExecutorKind::Threaded,
-                            ExecutorKind::Sharded}) {
+  for (ExecutorKind kind :
+       {ExecutorKind::Sequential, ExecutorKind::Threaded,
+        ExecutorKind::Sharded, ExecutorKind::FreeRunning}) {
     SCOPED_TRACE(executor_kind_name(kind));
     Specification spec("mutate");
     auto& sys =

@@ -141,6 +141,77 @@ TEST(WorkerPoolTest, EmptyEpochDoesNotWakeWorkers) {
   EXPECT_EQ(total_executed(pool), 0u);
 }
 
+TEST(WorkerPoolTest, FixedRingHoldsSteadyEpochsWithoutSpilling) {
+  // Epochs within the ring capacity never touch the overflow vector — the
+  // counter executors fold into rounds_with_allocation stays flat.
+  WorkerPool pool(2);
+  std::atomic<int> done{0};
+  for (int e = 0; e < 20; ++e) {
+    for (int k = 0; k < static_cast<int>(WorkerPool::kRingSlots); ++k)
+      pool.submit(k % 2, [&done](int) { done.fetch_add(1); });
+    pool.run_epoch();
+  }
+  EXPECT_EQ(done.load(), 20 * static_cast<int>(WorkerPool::kRingSlots));
+  EXPECT_EQ(pool.spills(), 0u);
+}
+
+TEST(WorkerPoolTest, RingSpillsPastHighWaterAndPreservesFifo) {
+  // A burst deeper than the ring spills; order stays FIFO across the spill
+  // boundary (single worker, so no stealing can reorder).
+  WorkerPool pool(1);
+  const int kTasks = static_cast<int>(WorkerPool::kRingSlots) + 20;
+  std::vector<int> order;
+  for (int k = 0; k < kTasks; ++k)
+    pool.submit(0, [&order, k](int) { order.push_back(k); });
+  EXPECT_EQ(pool.run_epoch(), static_cast<std::size_t>(kTasks));
+  EXPECT_EQ(pool.spills(), 20u);
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kTasks));
+  for (int k = 0; k < kTasks; ++k) EXPECT_EQ(order[static_cast<std::size_t>(k)], k);
+  // Back under high water: no further spills.
+  pool.submit(0, [](int) {});
+  pool.run_epoch();
+  EXPECT_EQ(pool.spills(), 20u);
+}
+
+TEST(WorkerPoolTest, HelpingEpochExecutesOnTheCoordinator) {
+  // One worker, two tasks that rendezvous: completing the epoch REQUIRES the
+  // coordinating thread to drain one of them (run_epoch_helping's
+  // pseudo-worker, stats slot worker_count()).
+  WorkerPool pool(1);
+  std::atomic<int> running{0};
+  for (int k = 0; k < 2; ++k) {
+    pool.submit(0, [&running](int) {
+      running.fetch_add(1);
+      while (running.load() < 2) std::this_thread::yield();
+    });
+  }
+  EXPECT_EQ(pool.run_epoch_helping(), 2u);
+  const auto stats = pool.worker_stats();
+  ASSERT_EQ(stats.size(), 2u);  // worker 0 + the helping coordinator
+  EXPECT_EQ(stats[0].executed, 1u);
+  EXPECT_EQ(stats[1].executed, 1u);  // the coordinator really participated
+  EXPECT_EQ(stats[1].stolen, 1u);    // it has no queue of its own
+}
+
+TEST(WorkerPoolTest, LaunchAndWaitIdleHostLongRunningTasks) {
+  // launch() returns while tasks run; wait_idle() is the quiesce point the
+  // free-running executor uses before resizing or destroying the pool.
+  WorkerPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> finished{0};
+  for (int k = 0; k < 2; ++k) {
+    pool.submit(k, [&release, &finished](int) {
+      while (!release.load()) std::this_thread::yield();
+      finished.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(pool.launch(), 2u);
+  EXPECT_EQ(finished.load(), 0);  // caller owns the thread while they run
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(finished.load(), 2);
+}
+
 TEST(WorkerPoolTest, OversubscriptionMoreWorkersThanTasks) {
   // 8 workers, 2 tasks per epoch: extra workers wake, find nothing, and
   // park again; the barrier still holds and counters stay consistent.
