@@ -1,0 +1,344 @@
+// Transport overhead of the distributed shard runtime.
+//
+// Two questions, one driver:
+//
+//   1. Overhead neutrality — a SINGLE-node Distributed group is the
+//      FreeRunning round loop plus the (empty) protocol bookkeeping. On the
+//      sparse hot-path workload (N entities, K active, bench_free_running's
+//      fixture) at N=1024 it must hold >= 0.9x direct FreeRunning rounds/sec
+//      and keep steady-state rounds allocation-free: distribution must cost
+//      nothing until a second node actually exists.
+//
+//   2. Wire cost — a two-node token pipeline (every firing crosses the node
+//      boundary) measured over each transport: loopback (in-process frame
+//      moves), Unix-domain sockets, and TCP on localhost, reporting
+//      rounds/sec, frames/sec and bytes/sec. This is the §4 placement
+//      trade-off as a number: what one hop of process isolation costs.
+//
+// Emits bench_transport.json (argv[1] overrides) for the CI artifact trend.
+// Exit status is the acceptance gate, like bench_free_running.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asn1/value.hpp"
+#include "estelle/executor.hpp"
+#include "estelle/module.hpp"
+#include "estelle/transport/dist_runner.hpp"
+#include "estelle/transport/socket_transport.hpp"
+#include "estelle/transport/transport.hpp"
+
+using namespace mcam;
+using common::SimTime;
+using estelle::Attribute;
+using estelle::DistOptions;
+using estelle::ExecutorConfig;
+using estelle::ExecutorKind;
+using estelle::Interaction;
+using estelle::MailboxTransport;
+using estelle::Module;
+using estelle::RunReport;
+using estelle::StopCondition;
+
+namespace {
+
+/// bench_free_running's sparse fixture: N-K idle consumers + K/2 ping-pong
+/// pairs in ONE system module. Never quiesces; bounded by a round budget.
+struct SparseWorld {
+  std::unique_ptr<estelle::Specification> spec;
+
+  SparseWorld(int entities, int active) {
+    spec = std::make_unique<estelle::Specification>("dist_sparse");
+    auto& sys =
+        spec->root().create_child<Module>("pool", Attribute::SystemProcess);
+    auto& mute = sys.create_child<Module>("mute", Attribute::Process);
+    const int idle = entities - active;
+    for (int i = 0; i < idle; ++i) {
+      auto& m = sys.create_child<Module>("idle" + std::to_string(i),
+                                         Attribute::Process);
+      estelle::connect(mute.ip("o" + std::to_string(i)), m.ip("in"));
+      m.trans("never").when(m.ip("in")).action(
+          [](Module&, const Interaction*) {});
+    }
+    std::vector<Module*> pongs;
+    for (int p = 0; p < active / 2; ++p) {
+      auto& a = sys.create_child<Module>("ping" + std::to_string(p),
+                                         Attribute::Process);
+      auto& b = sys.create_child<Module>("pong" + std::to_string(p),
+                                         Attribute::Process);
+      estelle::connect(a.ip("out"), b.ip("in"));
+      estelle::connect(b.ip("out"), a.ip("in"));
+      for (Module* m : {&a, &b}) {
+        m->trans("hit")
+            .when(m->ip("in"))
+            .cost(SimTime::from_us(5))
+            .action([m](Module&, const Interaction*) {
+              m->ip("out").output(Interaction(1));
+            });
+      }
+      pongs.push_back(&b);
+    }
+    spec->initialize();
+    for (Module* b : pongs) b->ip("out").output(Interaction(1));
+  }
+};
+
+/// Two system modules volleying one batch of tokens back and forth forever:
+/// every firing ships a Transfer frame to the other node. Bounded by steps.
+struct VolleyWorld {
+  estelle::Specification spec{"volley"};
+
+  explicit VolleyWorld(int balls) {
+    auto& asys = spec.root().create_child<Module>("a", Attribute::SystemProcess);
+    auto& bsys = spec.root().create_child<Module>("b", Attribute::SystemProcess);
+    auto& left = asys.create_child<Module>("w", Attribute::Process);
+    auto& right = bsys.create_child<Module>("w", Attribute::Process);
+    estelle::connect(left.ip("out"), right.ip("in"));
+    estelle::connect(right.ip("out"), left.ip("in"));
+    for (Module* m : {&left, &right}) {
+      estelle::InteractionPoint* out = &m->ip("out");
+      m->trans("hit").when(m->ip("in")).cost(SimTime::from_us(5)).action(
+          [out](Module& mm, const Interaction* msg) {
+            out->output(Interaction(1, msg->value));
+            mm.set_state(mm.state() + 1);
+          });
+    }
+    spec.initialize();
+    for (int i = 0; i < balls; ++i)
+      left.ip("out").output(Interaction(1, asn1::Value::integer(i)));
+  }
+};
+
+struct Measurement {
+  double wall_ms = 0;
+  double rounds_per_sec = 0;
+  double frames_per_sec = 0;
+  double bytes_per_sec = 0;
+  unsigned long long fired = 0;
+  unsigned long long steady_alloc_rounds = 0;
+};
+
+double wall_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Single node, no transport: the loopback-neutrality side of the gate.
+Measurement run_single(int entities, int active, std::uint64_t rounds,
+                       bool distributed) {
+  SparseWorld world(entities, active);
+  ExecutorConfig cfg;
+  cfg.kind = distributed ? ExecutorKind::Distributed : ExecutorKind::FreeRunning;
+  cfg.threads = 1;  // one shard — measure dispatch overhead, not parallelism
+  auto executor = estelle::make_executor(*world.spec, cfg);
+  executor->run({.stop = {StopCondition::max_steps(rounds / 10 + 1)}});
+
+  const auto start = std::chrono::steady_clock::now();
+  const RunReport r =
+      executor->run({.stop = {StopCondition::max_steps(rounds)}});
+  Measurement m;
+  m.wall_ms = wall_since(start);
+  m.rounds_per_sec =
+      m.wall_ms > 0 ? static_cast<double>(r.steps) / (m.wall_ms / 1e3) : 0;
+  m.fired = r.fired;
+  m.steady_alloc_rounds = r.rounds_with_allocation;
+  return m;
+}
+
+/// Two nodes over `make_transport(node)`, volleying for `rounds` rounds.
+Measurement run_pair(
+    int balls, std::uint64_t rounds,
+    const std::function<std::shared_ptr<MailboxTransport>(int)>&
+        make_transport) {
+  std::vector<RunReport> reports(2);
+  std::vector<std::string> errors(2);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int node = 0; node < 2; ++node)
+    threads.emplace_back([&, node] {
+      VolleyWorld world(balls);
+      std::shared_ptr<MailboxTransport> transport = make_transport(node);
+      if (transport == nullptr) {
+        errors[static_cast<std::size_t>(node)] = "transport construction failed";
+        return;
+      }
+      DistOptions opts;
+      opts.node = node;
+      opts.nodes = 2;
+      opts.transport = std::move(transport);
+      ExecutorConfig cfg;
+      cfg.kind = ExecutorKind::Distributed;
+      cfg.backend_options = opts;
+      auto executor = estelle::make_executor(world.spec, cfg);
+      reports[static_cast<std::size_t>(node)] =
+          executor->run({.stop = {StopCondition::max_steps(rounds)}});
+    });
+  for (std::thread& t : threads) t.join();
+  Measurement m;
+  m.wall_ms = wall_since(start);
+  for (const std::string& e : errors)
+    if (!e.empty()) {
+      std::fprintf(stderr, "pair run failed: %s\n", e.c_str());
+      return m;
+    }
+  unsigned long long frames = 0, bytes = 0;
+  for (const RunReport& r : reports)
+    if (!r.error.empty())
+      std::fprintf(stderr, "pair run aborted: %s\n", r.error.c_str());
+  for (const RunReport& r : reports) {
+    frames += r.transport.frames_sent;
+    bytes += r.transport.bytes_sent;
+    m.fired += r.fired;
+  }
+  const double secs = m.wall_ms / 1e3;
+  if (secs > 0) {
+    m.rounds_per_sec = static_cast<double>(reports[0].steps) / secs;
+    m.frames_per_sec = static_cast<double>(frames) / secs;
+    m.bytes_per_sec = static_cast<double>(bytes) / secs;
+  }
+  return m;
+}
+
+template <typename F>
+Measurement best_of(int reps, F run) {
+  Measurement best = run();
+  for (int i = 1; i < reps; ++i) {
+    const Measurement m = run();
+    if (m.wall_ms > 0 && (best.wall_ms == 0 || m.wall_ms < best.wall_ms))
+      best = m;
+  }
+  return best;
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr int kEntities = 1024;
+  constexpr int kActive = 8;
+  constexpr std::uint64_t kSingleRounds = 2000;
+  constexpr int kBalls = 16;
+  constexpr std::uint64_t kPairRounds = 1500;
+
+  // ---- gate: single-node Distributed vs direct FreeRunning ---------------
+  std::printf("== single node, N=%d entities, K=%d active, %llu rounds ==\n",
+              kEntities, kActive,
+              static_cast<unsigned long long>(kSingleRounds));
+  const Measurement direct = best_of(
+      3, [&] { return run_single(kEntities, kActive, kSingleRounds, false); });
+  const Measurement neutral = best_of(
+      3, [&] { return run_single(kEntities, kActive, kSingleRounds, true); });
+  const double ratio = direct.rounds_per_sec > 0
+                           ? neutral.rounds_per_sec / direct.rounds_per_sec
+                           : 0;
+  std::printf("%22s %16.0f rounds/s\n", "free-running", direct.rounds_per_sec);
+  std::printf("%22s %16.0f rounds/s  (%.2fx, %s)\n", "distributed (1 node)",
+              neutral.rounds_per_sec, ratio,
+              neutral.steady_alloc_rounds == 0 ? "zero-alloc" : "ALLOCATES");
+  const bool meets_ratio = ratio >= 0.9;
+  const bool meets_alloc = neutral.steady_alloc_rounds == 0;
+
+  // ---- wire cost: 2 nodes over each transport -----------------------------
+  std::printf(
+      "\n== two nodes, %d balls in flight, %llu rounds per node ==\n",
+      kBalls, static_cast<unsigned long long>(kPairRounds));
+  std::printf("%14s %12s %14s %14s %14s\n", "transport", "wall ms", "rounds/s",
+              "frames/s", "bytes/s");
+
+  struct Row {
+    const char* name;
+    Measurement m;
+  };
+  std::vector<Row> rows;
+
+  rows.push_back({"loopback", best_of(3, [&] {
+                    auto hub = std::make_shared<estelle::LoopbackHub>(2);
+                    return run_pair(kBalls, kPairRounds, [hub](int node) {
+                      return std::shared_ptr<MailboxTransport>(
+                          hub->endpoint(node));
+                    });
+                  })});
+  {
+    const std::string dir = "/tmp/mcam_bench_transport";
+    rows.push_back({"unix", best_of(3, [&] {
+                      std::filesystem::remove_all(dir);
+                      std::filesystem::create_directories(dir);
+                      return run_pair(kBalls, kPairRounds, [&dir](int node) {
+                        auto mesh = estelle::StreamSocketTransport::unix_mesh(
+                            node, 2, dir);
+                        return mesh.ok() ? std::shared_ptr<MailboxTransport>(
+                                               std::move(mesh.value()))
+                                         : nullptr;
+                      });
+                    })});
+    std::filesystem::remove_all(dir);
+  }
+  rows.push_back({"tcp", best_of(3, [&] {
+                    return run_pair(kBalls, kPairRounds, [](int node) {
+                      auto mesh = estelle::StreamSocketTransport::tcp_mesh(
+                          node, 2, 47901);
+                      return mesh.ok() ? std::shared_ptr<MailboxTransport>(
+                                             std::move(mesh.value()))
+                                       : nullptr;
+                    });
+                  })});
+
+  std::string json_rows;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::printf("%14s %12.2f %14.0f %14.0f %14.0f\n", row.name, row.m.wall_ms,
+                row.m.rounds_per_sec, row.m.frames_per_sec,
+                row.m.bytes_per_sec);
+    json_rows += "    {\"transport\": \"" + std::string(row.name) +
+                 "\", \"wall_ms\": " + num(row.m.wall_ms) +
+                 ", \"rounds_per_sec\": " + num(row.m.rounds_per_sec) +
+                 ", \"frames_per_sec\": " + num(row.m.frames_per_sec) +
+                 ", \"bytes_per_sec\": " + num(row.m.bytes_per_sec) +
+                 ", \"fired\": " + std::to_string(row.m.fired) + "}";
+    json_rows += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+
+  std::printf(
+      "\nacceptance @ N=%d: 1-node distributed %s >= 0.9x free-running "
+      "rounds/sec (%.2fx); steady-state rounds %s zero-alloc\n",
+      kEntities, meets_ratio ? "meets" : "MISSES", ratio,
+      meets_alloc ? "meet" : "MISS");
+
+  const char* json_path = argc > 1 ? argv[1] : "bench_transport.json";
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(
+        f,
+        "{\n  \"benchmark\": \"bench_transport\",\n"
+        "  \"single_node\": {\"entities\": %d, \"active\": %d, "
+        "\"rounds\": %llu,\n"
+        "    \"free_running_rounds_per_sec\": %s,\n"
+        "    \"distributed_rounds_per_sec\": %s,\n"
+        "    \"ratio\": %s, \"steady_alloc_rounds\": %llu},\n"
+        "  \"pair\": [\n%s  ],\n"
+        "  \"acceptance\": {\"loopback_at_least_0_9x\": %s, "
+        "\"steady_state_zero_alloc\": %s}\n}\n",
+        kEntities, kActive, static_cast<unsigned long long>(kSingleRounds),
+        num(direct.rounds_per_sec).c_str(), num(neutral.rounds_per_sec).c_str(),
+        num(ratio).c_str(),
+        static_cast<unsigned long long>(neutral.steady_alloc_rounds),
+        json_rows.c_str(), meets_ratio ? "true" : "false",
+        meets_alloc ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", json_path);
+    return 1;
+  }
+  return meets_ratio && meets_alloc ? 0 : 1;
+}

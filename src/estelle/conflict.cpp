@@ -89,10 +89,13 @@ void ConflictAnalysis::rebuild() {
       const int here = m.shard();
       const int there = peer->owner().shard();
       if (here == there) continue;
-      // Record each cross-shard channel once (from its lower endpoint).
-      if (reinterpret_cast<std::uintptr_t>(ip.get()) <
-          reinterpret_cast<std::uintptr_t>(peer))
-        cross_channels_.push_back({ip.get(), peer, here, there});
+      // Record each cross-shard channel once, from its lower-shard endpoint.
+      // The rule must be a pure function of specification STRUCTURE — never
+      // of heap addresses — because the distributed runner uses the vector
+      // position as the wire channel index and the a/b orientation as the
+      // frame direction bit: every process that builds the same spec must
+      // derive the identical table.
+      if (here < there) cross_channels_.push_back({ip.get(), peer, here, there});
       // Conflict: a provided-guarded when-transition on this cross-shard
       // endpoint. The guard re-runs at revalidation/firing time and may
       // observe the queue the remote shard appends to, so immediate

@@ -13,6 +13,7 @@
 #include "estelle/module.hpp"
 #include "estelle/sched.hpp"
 #include "estelle/shard_executor.hpp"
+#include "estelle/transport/dist_runner.hpp"
 
 namespace mcam::estelle {
 
@@ -72,6 +73,8 @@ const char* builtin_kind_name(ExecutorKind k) noexcept {
       return "sharded";
     case ExecutorKind::FreeRunning:
       return "free-running";
+    case ExecutorKind::Distributed:
+      return "distributed";
   }
   return nullptr;
 }
@@ -396,6 +399,11 @@ ExecutorFactory::ExecutorFactory() {
       ExecutorKind::FreeRunning, builtin_kind_name(ExecutorKind::FreeRunning),
       [](Specification& spec, const ExecutorConfig& cfg) {
         return std::make_unique<FreeRunningExecutor>(spec, cfg);
+      });
+  register_backend(
+      ExecutorKind::Distributed, builtin_kind_name(ExecutorKind::Distributed),
+      [](Specification& spec, const ExecutorConfig& cfg) {
+        return std::make_unique<DistributedRunner>(spec, cfg);
       });
 }
 

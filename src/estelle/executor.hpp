@@ -110,8 +110,15 @@ enum class ExecutorKind {
   Threaded,     // real std::thread execution, deterministic commit order
   Sharded,      // work-stealing real threads, one shard per system module
   FreeRunning,  // barrier-free continuation shards firing from ready sets
+  Distributed,  // one shard group per process over a MailboxTransport
 };
 
+/// Every kind a default-constructed ExecutorConfig can drive. Distributed is
+/// deliberately absent: it needs transport::DistOptions in
+/// ExecutorConfig::backend_options to be more than a single-node runner, and
+/// it refuses specifications ConflictAnalysis cannot prove conflict-free, so
+/// a blind sweep over it would not honor the every-spec contract the
+/// conformance suites assert over this list.
 inline constexpr ExecutorKind kAllExecutorKinds[] = {
     ExecutorKind::Sequential, ExecutorKind::ParallelSim,
     ExecutorKind::Threaded, ExecutorKind::Sharded, ExecutorKind::FreeRunning};
@@ -266,6 +273,24 @@ struct FreeRunningStats {
   std::uint64_t fallback_rounds = 0;
 };
 
+/// Cross-process transport counters, reported by ExecutorKind::Distributed
+/// (all-zero under other backends). frames/bytes are what the node's
+/// MailboxTransport moved (bytes stay 0 under the zero-copy loopback);
+/// null_rounds_serviced counts NullRound frames accepted from peers — the
+/// conservative-simulation null messages that advance a provably-idle remote
+/// shard's round; handshake_retries counts connection attempts beyond the
+/// first during mesh setup; send_queue_high_water is the largest backlog (in
+/// bytes, frames under loopback) any peer's bounded outbound queue reached.
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t null_rounds_serviced = 0;
+  std::uint64_t handshake_retries = 0;
+  std::uint64_t send_queue_high_water = 0;
+};
+
 /// Per-module firing summary, published into RunReport by a MetricsObserver
 /// (metrics.hpp) from its on_report hook; empty unless one observed the run.
 struct ModuleFiringMetrics {
@@ -291,6 +316,14 @@ struct RunReport {
   std::vector<ShardRunStats> shards;  // per-shard stats (Sharded backend)
   /// Continuation-dispatch counters (FreeRunning backend; zero elsewhere).
   FreeRunningStats free_running;
+  /// Cross-process transport counters (Distributed backend; zero elsewhere).
+  TransportStats transport;
+  /// Structured failure description when the Distributed backend ends a run
+  /// with reason == Aborted *without* throwing — a dead peer, a refused
+  /// handshake, a gate watchdog timeout. Unlike an escaping exception, these
+  /// are expected distributed-runtime conditions: run() returns normally and
+  /// the caller inspects reason/error. Empty on every other path.
+  std::string error;
   /// Filled by MetricsObserver::on_report when one is attached:
   std::vector<ModuleFiringMetrics> module_metrics;
   /// Histogram of virtual-time gaps between consecutive firings of the same

@@ -85,14 +85,7 @@ void InteractionPoint::deliver(Interaction msg) {
     // the owner ready). The wake sink fires after the store is published so
     // a passive free-running shard can be unparked instead of waiting for a
     // coordinator epoch.
-    {
-      std::lock_guard<std::mutex> lock(stripe_of(this));
-      transfers_.push_back({std::move(msg), t_shard_now, t_shard_round});
-      transfer_count_.store(transfers_.size(), std::memory_order_release);
-    }
-    if (Specification* spec = owner_.specification())
-      if (CrossShardWakeSink* sink = spec->cross_shard_wake_sink())
-        sink->on_cross_shard_delivery(owner_.shard(), t_shard_round);
+    inject_transfer(std::move(msg), t_shard_now, t_shard_round);
     return;
   }
   // Only the queue head is offered to when-clauses, so fireability changes
@@ -140,6 +133,32 @@ void InteractionPoint::clear() noexcept {
 
 bool InteractionPoint::has_pending_transfers() const {
   return transfer_count_.load(std::memory_order_acquire) != 0;
+}
+
+void InteractionPoint::inject_transfer(Interaction msg, SimTime sent_at,
+                                       std::uint64_t round) {
+  {
+    std::lock_guard<std::mutex> lock(stripe_of(this));
+    transfers_.push_back({std::move(msg), sent_at, round});
+    transfer_count_.store(transfers_.size(), std::memory_order_release);
+  }
+  if (Specification* spec = owner_.specification())
+    if (CrossShardWakeSink* sink = spec->cross_shard_wake_sink())
+      sink->on_cross_shard_delivery(owner_.shard(), round);
+}
+
+std::size_t InteractionPoint::take_transfers(std::vector<Transfer>& out) {
+  if (transfer_count_.load(std::memory_order_acquire) == 0) return 0;
+  std::lock_guard<std::mutex> lock(stripe_of(this));
+  const std::size_t moved = transfers_.size();
+  if (out.empty()) {
+    out.swap(transfers_);  // steady state: recycle the caller's capacity
+  } else {
+    for (Transfer& t : transfers_) out.push_back(std::move(t));
+    transfers_.clear();
+  }
+  transfer_count_.store(0, std::memory_order_release);
+  return moved;
 }
 
 bool InteractionPoint::output(Interaction msg) {

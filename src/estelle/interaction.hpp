@@ -161,6 +161,30 @@ class InteractionPoint {
   /// True when cross-shard arrivals are waiting to be drained.
   [[nodiscard]] bool has_pending_transfers() const;
 
+  /// One parked cross-shard arrival: the interaction plus the sender shard's
+  /// clock and in-flight global round at output() time. Public because the
+  /// distributed runner moves parked transfers onto the wire stamps-intact.
+  struct Transfer {
+    Interaction msg;
+    SimTime sent_at{};
+    std::uint64_t round = 0;
+  };
+
+  // ---- remote-shard bridge (transport/dist_runner) ----
+  /// Move every parked transfer (stamps included) into `out`, emptying the
+  /// mailbox. The distributed runner calls this on the local replica IP of a
+  /// remote module after each round: locally-fired outputs to that module
+  /// parked here via deliver()'s cross-shard path, and this is how they
+  /// leave for the owning process as Transfer frames. Same single-consumer
+  /// rule as the drains. Returns the number of transfers moved.
+  std::size_t take_transfers(std::vector<Transfer>& out);
+  /// Park one arrival in the transfer mailbox with explicit stamps — the
+  /// receive half of the bridge: a Transfer frame from the sender process is
+  /// re-parked here exactly as deliver() would have parked it in-process, so
+  /// drain_transfers_until() and the round-visibility rule treat remote and
+  /// local senders identically. Fires the cross-shard wake sink.
+  void inject_transfer(Interaction msg, SimTime sent_at, std::uint64_t round);
+
   /// Statistics for Table-1 style reliability measurements.
   [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
@@ -177,13 +201,6 @@ class InteractionPoint {
   std::string name_;
   InteractionPoint* peer_ = nullptr;
   std::deque<Interaction> inbox_;
-  /// One parked cross-shard arrival: the interaction plus the sender shard's
-  /// clock and in-flight global round at output() time.
-  struct Transfer {
-    Interaction msg;
-    SimTime sent_at{};
-    std::uint64_t round = 0;
-  };
   /// Cross-shard arrivals parked until the owning shard's next epoch
   /// boundary (or free-running drain), stamped with the sender shard's clock
   /// and round. Guarded by a striped mutex pool (see interaction.cpp), not a

@@ -44,6 +44,10 @@ void MetricsObserver::on_report(Executor&, RunReport& report) {
   guards_examined_ += report.guards_examined;
   candidates_considered_ += report.candidates_considered;
   rounds_with_allocation_ += report.rounds_with_allocation;
+  if (report.transport.frames_sent != 0 ||
+      report.transport.frames_received != 0 ||
+      report.transport.handshake_retries != 0)
+    transport_ = report.transport;
 }
 
 std::uint64_t MetricsObserver::fired_by(const std::string& module_path) const {
@@ -90,6 +94,21 @@ std::string MetricsObserver::to_string(std::size_t top) const {
       static_cast<unsigned long long>(guards_examined_), guards_per_firing(),
       static_cast<unsigned long long>(candidates_considered_),
       static_cast<unsigned long long>(rounds_with_allocation_));
+  if (transport_.frames_sent != 0 || transport_.frames_received != 0 ||
+      transport_.handshake_retries != 0) {
+    out += common::strf(
+        "  transport: %llu frames out / %llu in, %llu bytes out / %llu in\n",
+        static_cast<unsigned long long>(transport_.frames_sent),
+        static_cast<unsigned long long>(transport_.frames_received),
+        static_cast<unsigned long long>(transport_.bytes_sent),
+        static_cast<unsigned long long>(transport_.bytes_received));
+    out += common::strf(
+        "    null rounds serviced %llu, handshake retries %llu, send-queue "
+        "high water %llu\n",
+        static_cast<unsigned long long>(transport_.null_rounds_serviced),
+        static_cast<unsigned long long>(transport_.handshake_retries),
+        static_cast<unsigned long long>(transport_.send_queue_high_water));
+  }
   out += "  firing-gap histogram (us, log2 buckets):\n";
   for (std::size_t b = 0; b < histogram_.size(); ++b) {
     if (histogram_[b] == 0) continue;
@@ -108,6 +127,7 @@ void MetricsObserver::clear() {
   guards_examined_ = 0;
   candidates_considered_ = 0;
   rounds_with_allocation_ = 0;
+  transport_ = TransportStats{};
 }
 
 }  // namespace mcam::estelle

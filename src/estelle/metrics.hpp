@@ -65,6 +65,12 @@ class MetricsObserver : public RunObserver {
   [[nodiscard]] const std::vector<std::uint64_t>& histogram() const noexcept {
     return histogram_;
   }
+  /// Latest cross-process transport counters seen in a report (the
+  /// Distributed backend's cumulative frame/byte traffic; all-zero unless
+  /// an observed run used a transport).
+  [[nodiscard]] const TransportStats& transport() const noexcept {
+    return transport_;
+  }
   /// Snapshot of the per-module metrics, most-fired first (what on_report
   /// publishes into the report).
   [[nodiscard]] std::vector<ModuleFiringMetrics> module_metrics() const;
@@ -93,6 +99,9 @@ class MetricsObserver : public RunObserver {
   std::uint64_t guards_examined_ = 0;
   std::uint64_t candidates_considered_ = 0;
   std::uint64_t rounds_with_allocation_ = 0;
+  /// Snapshot, not a sum: RunReport::transport is already cumulative for
+  /// the transport's lifetime, so the newest non-empty report wins.
+  TransportStats transport_;
 };
 
 }  // namespace mcam::estelle

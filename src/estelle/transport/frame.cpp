@@ -1,0 +1,272 @@
+#include "estelle/transport/frame.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "asn1/ber.hpp"
+
+namespace mcam::estelle {
+
+using asn1::Value;
+using common::ByteSpan;
+using common::Bytes;
+using common::Error;
+using common::Result;
+
+namespace {
+
+/// u64 fields ride the INTEGER as an int64 bit-cast on both sides, so the
+/// full range (hashes) round-trips exactly.
+Value u64v(std::uint64_t v) {
+  return Value::integer(static_cast<std::int64_t>(v));
+}
+
+Result<std::uint64_t> get_u64(const Value& seq, std::size_t i) {
+  if (i >= seq.size())
+    return Error::make(asn1::kTruncated, "frame field " + std::to_string(i) +
+                                             " missing");
+  Result<std::int64_t> v = seq.child(i).as_int();
+  if (!v.ok()) return v.error();
+  return static_cast<std::uint64_t>(v.value());
+}
+
+Result<std::uint32_t> get_u32(const Value& seq, std::size_t i) {
+  Result<std::uint64_t> v = get_u64(seq, i);
+  if (!v.ok()) return v.error();
+  if (v.value() > 0xffffffffull)
+    return Error::make(asn1::kWrongType, "frame field " + std::to_string(i) +
+                                             " out of u32 range");
+  return static_cast<std::uint32_t>(v.value());
+}
+
+Result<bool> get_bool(const Value& seq, std::size_t i) {
+  if (i >= seq.size())
+    return Error::make(asn1::kTruncated, "frame field " + std::to_string(i) +
+                                             " missing");
+  return seq.child(i).as_bool();
+}
+
+Result<std::string> get_str(const Value& seq, std::size_t i) {
+  if (i >= seq.size())
+    return Error::make(asn1::kTruncated, "frame field " + std::to_string(i) +
+                                             " missing");
+  return seq.child(i).as_string();
+}
+
+/// The frame body as an ASN.1 value (the catalogue in frame.hpp).
+Value frame_value(const Frame& f) {
+  std::vector<Value> body;
+  switch (f.type) {
+    case FrameType::Hello:
+      body = {u64v(f.node),      u64v(f.nodes),
+              u64v(f.shards),    u64v(f.spec_hash),
+              u64v(f.topology_version), u64v(f.assign_hash)};
+      break;
+    case FrameType::Welcome:
+      body = {u64v(f.node), Value::boolean(f.accept),
+              Value::utf8string(f.reason)};
+      break;
+    case FrameType::Transfer: {
+      body = {u64v(f.channel),     Value::integer(f.dir),
+              u64v(f.round),       Value::integer(f.sent_at_ns),
+              Value::integer(f.msg.kind), Value::octet_string(f.msg.payload)};
+      // The structured parameters travel as-is — the Interaction's value IS
+      // an ASN.1 value, wrapped [0] EXPLICIT only to mark presence.
+      if (!(f.msg.value == Value()))
+        body.push_back(Value::context(0, f.msg.value));
+      break;
+    }
+    case FrameType::Advertise:
+    case FrameType::NullRound:
+      body = {u64v(f.shard), u64v(f.round)};
+      break;
+    case FrameType::RoundDone:
+      body = {u64v(f.node), u64v(f.round), Value::boolean(f.quiescent)};
+      break;
+    case FrameType::Probe:
+      body = {u64v(f.node), u64v(f.epoch)};
+      break;
+    case FrameType::ProbeAck:
+      body = {u64v(f.node), u64v(f.epoch), Value::boolean(f.quiescent),
+              u64v(f.sent), u64v(f.recv)};
+      break;
+    case FrameType::Bye:
+      body = {u64v(f.node)};
+      break;
+  }
+  return Value::application(static_cast<std::uint32_t>(f.type),
+                            std::move(body));
+}
+
+#define TRY_FIELD(dest, expr)              \
+  do {                                     \
+    auto r_ = (expr);                      \
+    if (!r_.ok()) return r_.error();       \
+    (dest) = std::move(r_).value();        \
+  } while (0)
+
+Result<Frame> frame_from_value(const Value& v) {
+  if (v.tag_class() != asn1::TagClass::Application || !v.constructed())
+    return Error::make(asn1::kBadTag, "frame: not an APPLICATION envelope");
+  if (v.tag() < 1 || v.tag() > 9)
+    return Error::make(asn1::kBadTag,
+                       "frame: unknown type " + std::to_string(v.tag()));
+  Frame f;
+  f.type = static_cast<FrameType>(v.tag());
+  switch (f.type) {
+    case FrameType::Hello:
+      TRY_FIELD(f.node, get_u32(v, 0));
+      TRY_FIELD(f.nodes, get_u32(v, 1));
+      TRY_FIELD(f.shards, get_u32(v, 2));
+      TRY_FIELD(f.spec_hash, get_u64(v, 3));
+      TRY_FIELD(f.topology_version, get_u64(v, 4));
+      TRY_FIELD(f.assign_hash, get_u64(v, 5));
+      break;
+    case FrameType::Welcome:
+      TRY_FIELD(f.node, get_u32(v, 0));
+      TRY_FIELD(f.accept, get_bool(v, 1));
+      TRY_FIELD(f.reason, get_str(v, 2));
+      break;
+    case FrameType::Transfer: {
+      TRY_FIELD(f.channel, get_u32(v, 0));
+      std::uint32_t dir = 0;
+      TRY_FIELD(dir, get_u32(v, 1));
+      if (dir > 1)
+        return Error::make(asn1::kWrongType, "transfer: dir not 0/1");
+      f.dir = static_cast<std::uint8_t>(dir);
+      TRY_FIELD(f.round, get_u64(v, 2));
+      std::uint64_t sent_at = 0;
+      TRY_FIELD(sent_at, get_u64(v, 3));
+      f.sent_at_ns = static_cast<std::int64_t>(sent_at);
+      std::uint32_t kind = 0;
+      TRY_FIELD(kind, get_u32(v, 4));
+      f.msg.kind = static_cast<int>(kind);
+      TRY_FIELD(f.msg.payload, (v.size() > 5 ? v.child(5).as_octets()
+                                             : Result<Bytes>(Error::make(
+                                                   asn1::kTruncated,
+                                                   "transfer: no payload"))));
+      if (const Value* wrapped = v.find_context(0)) {
+        Result<Value> inner = wrapped->unwrap_context(0);
+        if (!inner.ok()) return inner.error();
+        f.msg.value = std::move(inner).value();
+      }
+      break;
+    }
+    case FrameType::Advertise:
+    case FrameType::NullRound:
+      TRY_FIELD(f.shard, get_u32(v, 0));
+      TRY_FIELD(f.round, get_u64(v, 1));
+      break;
+    case FrameType::RoundDone:
+      TRY_FIELD(f.node, get_u32(v, 0));
+      TRY_FIELD(f.round, get_u64(v, 1));
+      TRY_FIELD(f.quiescent, get_bool(v, 2));
+      break;
+    case FrameType::Probe:
+      TRY_FIELD(f.node, get_u32(v, 0));
+      TRY_FIELD(f.epoch, get_u64(v, 1));
+      break;
+    case FrameType::ProbeAck:
+      TRY_FIELD(f.node, get_u32(v, 0));
+      TRY_FIELD(f.epoch, get_u64(v, 1));
+      TRY_FIELD(f.quiescent, get_bool(v, 2));
+      TRY_FIELD(f.sent, get_u64(v, 3));
+      TRY_FIELD(f.recv, get_u64(v, 4));
+      break;
+    case FrameType::Bye:
+      TRY_FIELD(f.node, get_u32(v, 0));
+      break;
+  }
+  return f;
+}
+
+#undef TRY_FIELD
+
+}  // namespace
+
+const char* frame_type_name(FrameType t) noexcept {
+  switch (t) {
+    case FrameType::Hello:
+      return "hello";
+    case FrameType::Welcome:
+      return "welcome";
+    case FrameType::Transfer:
+      return "transfer";
+    case FrameType::Advertise:
+      return "advertise";
+    case FrameType::NullRound:
+      return "null-round";
+    case FrameType::RoundDone:
+      return "round-done";
+    case FrameType::Probe:
+      return "probe";
+    case FrameType::ProbeAck:
+      return "probe-ack";
+    case FrameType::Bye:
+      return "bye";
+  }
+  return "?";
+}
+
+void encode_frame_to(const Frame& f, Bytes& out) {
+  const Value v = frame_value(f);
+  const std::size_t body_len = asn1::encoded_length(v);
+  out.push_back(static_cast<std::uint8_t>(body_len >> 24));
+  out.push_back(static_cast<std::uint8_t>(body_len >> 16));
+  out.push_back(static_cast<std::uint8_t>(body_len >> 8));
+  out.push_back(static_cast<std::uint8_t>(body_len));
+  asn1::encode_to(v, out);
+}
+
+Bytes encode_frame(const Frame& f) {
+  Bytes out;
+  encode_frame_to(f, out);
+  return out;
+}
+
+Result<Frame> decode_frame(ByteSpan body) {
+  Result<Value> v = asn1::decode(body);
+  if (!v.ok()) return v.error();
+  return frame_from_value(v.value());
+}
+
+void FrameReassembler::feed(ByteSpan data) {
+  // Compact before growing: once the consumed prefix dominates the buffer,
+  // slide the tail down so capacity is reused instead of extended.
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+FrameReassembler::Next FrameReassembler::next(Frame* out, std::string* error) {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return Next::kNeedMore;
+  const std::uint8_t* p = buf_.data() + pos_;
+  const std::size_t body_len = (static_cast<std::size_t>(p[0]) << 24) |
+                               (static_cast<std::size_t>(p[1]) << 16) |
+                               (static_cast<std::size_t>(p[2]) << 8) |
+                               static_cast<std::size_t>(p[3]);
+  if (body_len > kMaxFrameBytes) {
+    if (error != nullptr)
+      *error = "frame length " + std::to_string(body_len) +
+               " exceeds limit — stream corrupt";
+    return Next::kError;
+  }
+  if (avail < 4 + body_len) return Next::kNeedMore;
+  Result<Frame> f = decode_frame(ByteSpan{p + 4, body_len});
+  if (!f.ok()) {
+    // A framed-but-undecodable body means the peer speaks another dialect
+    // (or the stream desynchronized); resynchronizing inside BER garbage is
+    // hopeless, so the stream dies here.
+    if (error != nullptr) *error = "frame decode: " + f.error().message;
+    return Next::kError;
+  }
+  pos_ += 4 + body_len;
+  *out = std::move(f).value();
+  return Next::kFrame;
+}
+
+}  // namespace mcam::estelle

@@ -1,0 +1,139 @@
+// Wire frames of the distributed shard runtime (transport/).
+//
+// The free-running backend proved (PR 5) that shards synchronize through
+// exactly three primitives: round-stamped transfer mailboxes, the advertised
+// round every neighbor gates on, and the null message that advances a
+// provably-idle shard. This header makes those primitives *explicit frames*
+// so a MailboxTransport can carry them between processes — the paper's
+// "system modules are asynchronous units placeable on separate processors"
+// taken literally. The frame syntax is ASN.1, encoded with the project's own
+// BER codec (src/asn1/ber.cpp), the same abstract-syntax layer the paper
+// uses for its PDUs; on a byte stream each frame travels length-prefixed:
+//
+//   u32 big-endian body length | BER body ([APPLICATION n] SEQUENCE)
+//
+// Frame catalogue (APPLICATION tag in brackets):
+//   Hello [1]      node, nodes, shards, spec_hash, topology_version,
+//                  assign_hash — membership handshake; a peer whose own
+//                  values differ answers Welcome{accept=false}.
+//   Welcome [2]    node, accept, reason.
+//   Transfer [3]   channel (index into ConflictAnalysis::
+//                  cross_shard_channels(), deterministic on every node),
+//                  dir (0 ⇒ deliver into endpoint a, 1 ⇒ into b), round and
+//                  sent_at_ns (the sender shard's stamps, preserved
+//                  bit-exactly so drain_transfers_until applies the same
+//                  visibility rule as in-process), then the Interaction:
+//                  kind, optional ASN.1 value, payload octets.
+//   Advertise [4]  shard, round — the shard completed a non-empty round.
+//   NullRound [5]  shard, upto_round — the shard's rounds through
+//                  upto_round are provably empty (the null message).
+//   RoundDone [6]  node, round, quiescent — node-level round completion,
+//                  the lockstep gate peers wait on; quiescent carries the
+//                  node's local-idle status for termination detection.
+//   Probe [7]      node, epoch — coordinator's termination probe.
+//   ProbeAck [8]   node, epoch, quiescent, sent, recv — flow-conservation
+//                  reply (Σsent == Σrecv across nodes ⇒ nothing in flight).
+//   Bye [9]        node — coordinator-confirmed global quiescence.
+//
+// FrameReassembler turns an arbitrary split of the byte stream back into
+// frames: feed() whatever read() returned, next() yields complete frames.
+// Its receive buffer is reused across frames (compacted, never shrunk), so
+// steady-state reassembly performs no per-frame allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "estelle/interaction.hpp"
+
+namespace mcam::estelle {
+
+enum class FrameType : std::uint32_t {
+  Hello = 1,
+  Welcome = 2,
+  Transfer = 3,
+  Advertise = 4,
+  NullRound = 5,
+  RoundDone = 6,
+  Probe = 7,
+  ProbeAck = 8,
+  Bye = 9,
+};
+
+[[nodiscard]] const char* frame_type_name(FrameType t) noexcept;
+
+/// One decoded frame. A flat product of every catalogue field — only the
+/// fields of `type` are meaningful, the rest stay default. Flat beats a
+/// variant here: the transports move Frames through queues by value, and the
+/// runner dispatches on `type` in one switch.
+struct Frame {
+  FrameType type = FrameType::Hello;
+
+  // Hello / Welcome / RoundDone / Probe / ProbeAck / Bye
+  std::uint32_t node = 0;
+  std::uint32_t nodes = 0;
+  std::uint32_t shards = 0;
+  std::uint64_t spec_hash = 0;
+  std::uint64_t topology_version = 0;
+  std::uint64_t assign_hash = 0;
+  bool accept = false;
+  std::string reason;
+
+  // Transfer
+  std::uint32_t channel = 0;
+  std::uint8_t dir = 0;  // 0 ⇒ deliver into endpoint a, 1 ⇒ into b
+  std::int64_t sent_at_ns = 0;
+  Interaction msg;
+
+  // Advertise / NullRound / RoundDone / Transfer
+  std::uint32_t shard = 0;
+  std::uint64_t round = 0;  // NullRound: the upto_round bound
+
+  // Probe / ProbeAck
+  std::uint64_t epoch = 0;
+  bool quiescent = false;
+  std::uint64_t sent = 0;
+  std::uint64_t recv = 0;
+};
+
+/// Frames larger than this are rejected by the reassembler — a garbage
+/// length prefix must not make it allocate gigabytes.
+inline constexpr std::size_t kMaxFrameBytes = 1u << 24;
+
+/// Append the length-prefixed encoding of `f` to `out` (the send path —
+/// appending lets one outbound buffer batch many frames per write()).
+void encode_frame_to(const Frame& f, common::Bytes& out);
+/// The length-prefixed encoding of `f` as a fresh buffer (tests).
+[[nodiscard]] common::Bytes encode_frame(const Frame& f);
+
+/// Decode one frame *body* (the BER value, no length prefix). Malformed
+/// input is an expected peer condition, not a programming error.
+[[nodiscard]] common::Result<Frame> decode_frame(common::ByteSpan body);
+
+/// Incremental stream-to-frame reassembly over split read() boundaries.
+class FrameReassembler {
+ public:
+  enum class Next {
+    kFrame,     ///< *out holds a complete frame
+    kNeedMore,  ///< the buffered bytes end mid-frame — feed() more
+    kError,     ///< unrecoverable stream corruption; *error says what
+  };
+
+  /// Append raw stream bytes (any split, including zero-length).
+  void feed(common::ByteSpan data);
+  /// Extract the next complete frame from the buffered bytes.
+  Next next(Frame* out, std::string* error);
+
+  /// Bytes currently buffered but not yet consumed as frames.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return buf_.size() - pos_;
+  }
+
+ private:
+  common::Bytes buf_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+};
+
+}  // namespace mcam::estelle

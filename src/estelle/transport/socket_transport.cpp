@@ -1,0 +1,444 @@
+#include "estelle/transport/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+
+namespace mcam::estelle {
+
+using common::ByteSpan;
+using common::Error;
+using common::Result;
+using common::Status;
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Blocking exact-count I/O for the setup phase (id preambles).
+bool write_all(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && (errno == EINTR)) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+struct MeshSetup {
+  /// Connected, preamble-exchanged fds keyed by peer node.
+  std::vector<StreamSocketTransport::PeerFd> fds;
+  std::uint64_t retries = 0;
+};
+
+/// The dial/accept split every mesh uses: node i dials every lower id and
+/// accepts every higher one, so each pair establishes exactly one stream.
+Result<MeshSetup> build_mesh(
+    int node, int nodes, int timeout_ms,
+    const std::function<int()>& make_listener,      // bound+listening fd
+    const std::function<int(int peer)>& dial) {     // connected fd or -1
+  MeshSetup setup;
+  if (nodes <= 1) return setup;
+  const int listener = make_listener();
+  if (listener < 0)
+    return Error::make(kSetupFailed,
+                       "mesh: listen failed: " + std::string(strerror(errno)));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  // Dial down.
+  for (int p = 0; p < node; ++p) {
+    int fd = -1;
+    for (;;) {
+      fd = dial(p);
+      if (fd >= 0) break;
+      ++setup.retries;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ::close(listener);
+        for (auto& pf : setup.fds) ::close(pf.fd);
+        return Error::make(kSetupFailed, "mesh: node " + std::to_string(p) +
+                                             " never became reachable");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    const std::uint32_t id = htonl(static_cast<std::uint32_t>(node));
+    if (!write_all(fd, &id, sizeof id)) {
+      ::close(fd);
+      ::close(listener);
+      for (auto& pf : setup.fds) ::close(pf.fd);
+      return Error::make(kSetupFailed, "mesh: preamble write failed");
+    }
+    setup.fds.push_back({p, fd});
+  }
+  // Accept up.
+  for (int expected = nodes - 1 - node; expected > 0;) {
+    pollfd pfd{listener, POLLIN, 0};
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0 ||
+        ::poll(&pfd, 1, static_cast<int>(left.count())) <= 0) {
+      ::close(listener);
+      for (auto& pf : setup.fds) ::close(pf.fd);
+      return Error::make(kSetupFailed, "mesh: timed out accepting peers");
+    }
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::uint32_t id = 0;
+    if (!read_all(fd, &id, sizeof id)) {
+      ::close(fd);
+      continue;
+    }
+    setup.fds.push_back({static_cast<int>(ntohl(id)), fd});
+    --expected;
+  }
+  ::close(listener);
+  return setup;
+}
+
+}  // namespace
+
+StreamSocketTransport::StreamSocketTransport(std::vector<PeerFd> peers) {
+  for (const PeerFd& p : peers) {
+    set_nonblocking(p.fd);
+    Conn c;
+    c.node = p.node;
+    c.fd = p.fd;
+    conns_.push_back(std::move(c));
+    peer_ids_.push_back(p.node);
+  }
+}
+
+std::unique_ptr<StreamSocketTransport> StreamSocketTransport::from_fds(
+    std::vector<PeerFd> peers) {
+  return std::unique_ptr<StreamSocketTransport>(
+      new StreamSocketTransport(std::move(peers)));
+}
+
+Result<std::unique_ptr<StreamSocketTransport>>
+StreamSocketTransport::unix_mesh(int node, int nodes, const std::string& dir,
+                                 int connect_timeout_ms) {
+  const auto path_of = [&dir](int n) {
+    return dir + "/node" + std::to_string(n) + ".sock";
+  };
+  Result<MeshSetup> setup = build_mesh(
+      node, nodes, connect_timeout_ms,
+      [&]() {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) return -1;
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        const std::string path = path_of(node);
+        if (path.size() >= sizeof addr.sun_path) return -1;
+        std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+        ::unlink(path.c_str());
+        if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+            ::listen(fd, nodes) < 0) {
+          ::close(fd);
+          return -1;
+        }
+        return fd;
+      },
+      [&](int peer) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) return -1;
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        const std::string path = path_of(peer);
+        std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+            0) {
+          ::close(fd);
+          return -1;
+        }
+        return fd;
+      });
+  if (!setup.ok()) return setup.error();
+  auto t = from_fds(std::move(setup.value().fds));
+  t->mutable_stats().handshake_retries = setup.value().retries;
+  return t;
+}
+
+Result<std::unique_ptr<StreamSocketTransport>> StreamSocketTransport::tcp_mesh(
+    int node, int nodes, std::uint16_t base_port, int connect_timeout_ms) {
+  Result<MeshSetup> setup = build_mesh(
+      node, nodes, connect_timeout_ms,
+      [&]() {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) return -1;
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(base_port + node));
+        if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+            ::listen(fd, nodes) < 0) {
+          ::close(fd);
+          return -1;
+        }
+        return fd;
+      },
+      [&](int peer) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) return -1;
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(base_port + peer));
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+            0) {
+          ::close(fd);
+          return -1;
+        }
+        return fd;
+      });
+  if (!setup.ok()) return setup.error();
+  for (auto& pf : setup.value().fds) {
+    const int one = 1;
+    ::setsockopt(pf.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  auto t = from_fds(std::move(setup.value().fds));
+  t->mutable_stats().handshake_retries = setup.value().retries;
+  return t;
+}
+
+StreamSocketTransport::~StreamSocketTransport() {
+  // Graceful close. Flush what the peers are still owed (the runner's
+  // parting Bye is usually in the backlog), announce end-of-stream, then
+  // drain inbound to EOF before close(): a TCP close with unread inbound
+  // data turns into RST, which would destroy our final frames in flight.
+  // The whole farewell is bounded by one shared deadline.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  const auto left_ms = [&deadline] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               deadline - std::chrono::steady_clock::now())
+        .count();
+  };
+  for (Conn& c : conns_) {
+    if (c.fd < 0) continue;
+    while (!c.closed && tx_backlog(c) > 0 && left_ms() > 0) {
+      pollfd p{c.fd, POLLOUT, 0};
+      if (::poll(&p, 1, static_cast<int>(left_ms())) <= 0) break;
+      try_flush(c);
+    }
+    if (!c.closed) ::shutdown(c.fd, SHUT_WR);
+  }
+  for (Conn& c : conns_) {
+    if (c.fd < 0) continue;
+    while (!c.rx_eof) {
+      const auto left = left_ms();
+      if (left <= 0) break;
+      pollfd p{c.fd, POLLIN, 0};
+      if (::poll(&p, 1, static_cast<int>(left)) <= 0) break;
+      std::uint8_t chunk[4096];
+      const ssize_t r = ::read(c.fd, chunk, sizeof chunk);
+      if (r < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+        continue;
+      if (r <= 0) break;  // EOF or a dead peer — done either way
+    }
+    ::close(c.fd);
+  }
+}
+
+StreamSocketTransport::Conn* StreamSocketTransport::conn_of(
+    int node) noexcept {
+  for (Conn& c : conns_)
+    if (c.node == node) return &c;
+  return nullptr;
+}
+
+void StreamSocketTransport::try_flush(Conn& c) {
+  while (!c.closed && tx_backlog(c) > 0) {
+    const ssize_t w = ::send(c.fd, c.txq.data() + c.txpos, tx_backlog(c),
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (w > 0) {
+      c.txpos += static_cast<std::size_t>(w);
+      stats_.bytes_sent += static_cast<std::uint64_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (w < 0 && errno == EINTR) continue;
+    c.closed = true;
+    c.close_reason = "send: " + std::string(strerror(errno));
+    break;
+  }
+  if (c.txpos == c.txq.size()) {
+    c.txq.clear();  // fully flushed — recycle capacity
+    c.txpos = 0;
+  } else if (c.txpos > 65536 && c.txpos * 2 >= c.txq.size()) {
+    c.txq.erase(c.txq.begin(),
+                c.txq.begin() + static_cast<std::ptrdiff_t>(c.txpos));
+    c.txpos = 0;
+  }
+}
+
+Status StreamSocketTransport::send(int peer, Frame f) {
+  Conn* c = conn_of(peer);
+  if (c == nullptr)
+    return Error::make(kProtocol, "send to unknown node " +
+                                      std::to_string(peer));
+  if (c->closed)
+    return Error::make(kPeerClosed,
+                       "node " + std::to_string(peer) + ": " +
+                           c->close_reason);
+  if (tx_backlog(*c) >= kMaxOutboundBytes)
+    return Error::make(kQueueFull, "outbound queue to node " +
+                                       std::to_string(peer) + " full");
+  encode_frame_to(f, c->txq);
+  ++stats_.frames_sent;
+  if (tx_backlog(*c) > stats_.send_queue_high_water)
+    stats_.send_queue_high_water = tx_backlog(*c);
+  try_flush(*c);
+  if (c->closed)
+    return Error::make(kPeerClosed,
+                       "node " + std::to_string(peer) + ": " +
+                           c->close_reason);
+  return Status::ok_status();
+}
+
+MailboxTransport::RecvOutcome StreamSocketTransport::recv(int* from,
+                                                          Frame* out,
+                                                          int timeout_ms,
+                                                          std::string* error) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::vector<pollfd> pfds(conns_.size());
+  for (;;) {
+    // Serve buffered frames first, round-robin so one peer cannot starve
+    // the rest; also flush pending writes opportunistically.
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      Conn& c = conns_[(rr_ + 1 + i) % conns_.size()];
+      if (tx_backlog(c) > 0) try_flush(c);
+      std::string why;
+      switch (c.rx.next(out, &why)) {
+        case FrameReassembler::Next::kFrame:
+          if (from != nullptr) *from = c.node;
+          rr_ = (rr_ + 1 + i) % conns_.size();
+          ++stats_.frames_received;
+          return RecvOutcome::kFrame;
+        case FrameReassembler::Next::kError:
+          c.closed = true;
+          c.rx_eof = true;  // the stream is garbage — stop reading it
+          c.close_reason = why;
+          break;
+        case FrameReassembler::Next::kNeedMore:
+          break;
+      }
+    }
+    // Report deaths (once per connection) — but only after the inbound half
+    // is exhausted too: a send failure alone may still have the peer's
+    // parting frames (its Bye) in the kernel buffer, and dropping them
+    // would misclassify a graceful leave as a death.
+    for (Conn& c : conns_) {
+      if (c.closed && c.rx_eof && !c.close_reported) {
+        c.close_reported = true;
+        if (from != nullptr) *from = c.node;
+        if (error != nullptr)
+          *error = "node " + std::to_string(c.node) + ": " +
+                   (c.close_reason.empty() ? "connection closed"
+                                           : c.close_reason);
+        return RecvOutcome::kClosed;
+      }
+    }
+    // Pump the sockets. A conn stays pumpable until BOTH halves are done:
+    // a send-side failure still reads (draining the peer's parting frames),
+    // a receive-side EOF still flushes what we owe the peer.
+    const auto dead = [](const Conn& c) { return c.closed && c.rx_eof; };
+    std::size_t live = 0;
+    for (const Conn& c : conns_)
+      if (!dead(c)) ++live;
+    if (live == 0) return RecvOutcome::kIdle;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    const int wait = timeout_ms <= 0 ? 0
+                     : left.count() > 0 ? static_cast<int>(left.count())
+                                        : 0;
+    std::size_t n = 0;
+    for (Conn& c : conns_) {
+      if (dead(c)) continue;
+      pfds[n].fd = c.fd;
+      pfds[n].events = static_cast<short>(
+          (c.rx_eof ? 0 : POLLIN) |
+          (!c.closed && tx_backlog(c) > 0 ? POLLOUT : 0));
+      pfds[n].revents = 0;
+      ++n;
+    }
+    const int ready = ::poll(pfds.data(), n, wait);
+    bool got_bytes = false;
+    if (ready > 0) {
+      std::size_t k = 0;
+      for (Conn& c : conns_) {
+        if (dead(c)) continue;
+        const short rev = pfds[k++].revents;
+        if (rev & POLLOUT) try_flush(c);
+        if (!c.rx_eof && (rev & (POLLIN | POLLHUP | POLLERR))) {
+          std::uint8_t chunk[65536];
+          for (;;) {
+            const ssize_t r = ::read(c.fd, chunk, sizeof chunk);
+            if (r > 0) {
+              stats_.bytes_received += static_cast<std::uint64_t>(r);
+              c.rx.feed(ByteSpan{chunk, static_cast<std::size_t>(r)});
+              got_bytes = true;
+              if (r < static_cast<ssize_t>(sizeof chunk)) break;
+              continue;
+            }
+            if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+            if (r < 0 && errno == EINTR) continue;
+            c.closed = true;
+            c.rx_eof = true;
+            if (c.close_reason.empty())
+              c.close_reason = r == 0
+                                   ? "connection closed"
+                                   : "read: " + std::string(strerror(errno));
+            break;
+          }
+        }
+      }
+    }
+    if (!got_bytes && wait <= 0 && timeout_ms >= 0) {
+      // One poll pass exhausted the budget (or this was a pure poll).
+      bool death_pending = false;
+      for (const Conn& c : conns_)
+        if (c.closed && c.rx_eof && !c.close_reported) death_pending = true;
+      if (!death_pending) return RecvOutcome::kIdle;
+    }
+  }
+}
+
+}  // namespace mcam::estelle

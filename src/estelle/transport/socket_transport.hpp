@@ -1,0 +1,105 @@
+// Stream-socket MailboxTransport: Unix-domain and TCP meshes.
+//
+// One connected stream per peer, length-prefixed BER frames (frame.hpp) on
+// the wire. The I/O discipline implements the transport contract:
+//
+//   * writes are NONBLOCKING against a bounded per-peer outbound buffer
+//     (kMaxOutboundBytes). send() appends the encoded frame, pushes what the
+//     socket accepts, and returns kQueueFull once the backlog is at the
+//     bound — the runner's back-pressure park.
+//   * reads go through one reusable per-connection receive buffer
+//     (FrameReassembler): poll(), read into a fixed stack chunk, feed, and
+//     decode in place. Steady-state receive performs no per-frame
+//     allocation (Transfer payload octets excepted — they leave the buffer
+//     as owned Interaction state, exactly like an in-process delivery).
+//   * a read of 0 / ECONNRESET / EPIPE marks the connection dead and
+//     surfaces kClosed once, never an exception or a hang. A send-side
+//     failure only stops the outbound half: the inbound half keeps being
+//     drained (the peer's parting Bye may still be in the kernel buffer),
+//     and kClosed is reported only once the receive side hits EOF too.
+//   * destruction is a graceful close: flush the outbound backlog,
+//     shutdown(SHUT_WR), then drain inbound to EOF (bounded) before
+//     close() — a TCP close with unread inbound data would RST and destroy
+//     our own final frames still in flight to the peer.
+//
+// Mesh construction (node i of n):
+//   * unix_mesh: node j binds <dir>/node<j>.sock; i connects to every j < i
+//     (retrying while the listener appears — counted as handshake_retries)
+//     and accepts every j > i. A 4-byte big-endian node id preamble
+//     identifies the dialing node.
+//   * tcp_mesh: identical shape on 127.0.0.1:<base_port + j>.
+//   * from_fds: adopt already-connected stream fds (socketpair() children in
+//     the multi-process tests). The adopted fds are owned and closed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "estelle/transport/transport.hpp"
+
+namespace mcam::estelle {
+
+class StreamSocketTransport final : public MailboxTransport {
+ public:
+  /// Outbound backlog bound per peer, in encoded bytes.
+  static constexpr std::size_t kMaxOutboundBytes = 4u << 20;
+
+  struct PeerFd {
+    int node = 0;
+    int fd = -1;
+  };
+
+  /// Adopt connected stream sockets (one per peer); takes fd ownership.
+  [[nodiscard]] static std::unique_ptr<StreamSocketTransport> from_fds(
+      std::vector<PeerFd> peers);
+
+  /// Full mesh over Unix-domain sockets under `dir` (see header comment).
+  [[nodiscard]] static common::Result<std::unique_ptr<StreamSocketTransport>>
+  unix_mesh(int node, int nodes, const std::string& dir,
+            int connect_timeout_ms = 10000);
+
+  /// Full mesh over TCP loopback, port base_port + node id.
+  [[nodiscard]] static common::Result<std::unique_ptr<StreamSocketTransport>>
+  tcp_mesh(int node, int nodes, std::uint16_t base_port,
+           int connect_timeout_ms = 10000);
+
+  ~StreamSocketTransport() override;
+
+  [[nodiscard]] const std::vector<int>& peers() const noexcept override {
+    return peer_ids_;
+  }
+  common::Status send(int peer, Frame f) override;
+  RecvOutcome recv(int* from, Frame* out, int timeout_ms,
+                   std::string* error) override;
+
+ private:
+  struct Conn {
+    int node = 0;
+    int fd = -1;
+    FrameReassembler rx;
+    common::Bytes txq;      // encoded, not yet accepted by the socket
+    std::size_t txpos = 0;  // consumed prefix of txq (compacted lazily)
+    bool closed = false;    // outbound half dead; no further sends
+    bool rx_eof = false;    // inbound half exhausted (EOF / read error)
+    bool close_reported = false;
+    std::string close_reason;
+  };
+
+  explicit StreamSocketTransport(std::vector<PeerFd> peers);
+
+  /// Push txq bytes into the socket until EAGAIN/empty; marks dead conns.
+  void try_flush(Conn& c);
+  [[nodiscard]] std::size_t tx_backlog(const Conn& c) const noexcept {
+    return c.txq.size() - c.txpos;
+  }
+  Conn* conn_of(int node) noexcept;
+
+  std::vector<Conn> conns_;
+  std::vector<int> peer_ids_;
+  std::size_t rr_ = 0;  // round-robin start for fair frame extraction
+};
+
+}  // namespace mcam::estelle

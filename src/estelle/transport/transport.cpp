@@ -1,0 +1,133 @@
+#include "estelle/transport/transport.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace mcam::estelle {
+
+using common::Error;
+using common::Status;
+
+// ---------------------------------------------------------------------------
+// LoopbackHub
+
+class LoopbackHub::Endpoint final : public MailboxTransport {
+ public:
+  Endpoint(std::shared_ptr<State> state, int node)
+      : state_(std::move(state)), node_(node) {
+    for (int p = 0; p < state_->nodes; ++p)
+      if (p != node_) peers_.push_back(p);
+    dead_reported_.assign(peers_.size(), false);
+  }
+
+  ~Endpoint() override {
+    // Close both directions of every link touching this node; blocked
+    // receivers wake and observe the death.
+    std::lock_guard<std::mutex> lock(state_->mu);
+    for (int p : peers_) {
+      link(p, node_).open = false;
+      link(node_, p).open = false;
+    }
+    state_->cv.notify_all();
+  }
+
+  [[nodiscard]] const std::vector<int>& peers() const noexcept override {
+    return peers_;
+  }
+
+  Status send(int peer, Frame f) override {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    State::Link& l = link(peer, node_);
+    if (!l.open)
+      return Error::make(kPeerClosed, "loopback: node " +
+                                          std::to_string(peer) + " is gone");
+    const std::size_t depth = l.q.size() - l.head;
+    if (depth >= kQueueCap)
+      return Error::make(kQueueFull, "loopback: queue to node " +
+                                         std::to_string(peer) + " full");
+    l.q.push_back(std::move(f));  // zero-copy: the frame itself moves
+    ++stats_.frames_sent;
+    if (depth + 1 > stats_.send_queue_high_water)
+      stats_.send_queue_high_water = depth + 1;
+    state_->cv.notify_all();
+    return Status::ok_status();
+  }
+
+  RecvOutcome recv(int* from, Frame* out, int timeout_ms,
+                   std::string* error) override {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      // Round-robin over senders from just past the last served one, so a
+      // chatty peer cannot starve the others.
+      for (std::size_t i = 0; i < peers_.size(); ++i) {
+        const int p = peers_[(rr_ + 1 + i) % peers_.size()];
+        State::Link& l = link(node_, p);
+        if (l.head < l.q.size()) {
+          *out = std::move(l.q[l.head]);
+          if (++l.head == l.q.size()) {
+            l.q.clear();  // drained — recycle capacity, keep it allocated
+            l.head = 0;
+          }
+          if (from != nullptr) *from = p;
+          rr_ = (rr_ + 1 + i) % peers_.size();
+          ++stats_.frames_received;
+          state_->cv.notify_all();  // a back-pressured sender may proceed
+          return RecvOutcome::kFrame;
+        }
+      }
+      for (const int p : peers_) {
+        if (!link(node_, p).open && !dead_reported_[static_cast<std::size_t>(
+                                        peer_index(p))]) {
+          dead_reported_[static_cast<std::size_t>(peer_index(p))] = true;
+          if (from != nullptr) *from = p;
+          if (error != nullptr)
+            *error = "loopback: node " + std::to_string(p) + " is gone";
+          return RecvOutcome::kClosed;
+        }
+      }
+      if (timeout_ms <= 0) return RecvOutcome::kIdle;
+      if (state_->cv.wait_until(lock, deadline) == std::cv_status::timeout)
+        return RecvOutcome::kIdle;
+    }
+  }
+
+ private:
+  [[nodiscard]] State::Link& link(int to, int from) const {
+    return state_->links[static_cast<std::size_t>(to * state_->nodes + from)];
+  }
+  [[nodiscard]] int peer_index(int p) const noexcept {
+    return p < node_ ? p : p - 1;
+  }
+
+  std::shared_ptr<State> state_;
+  int node_;
+  std::vector<int> peers_;
+  std::vector<bool> dead_reported_;
+  std::size_t rr_ = 0;
+};
+
+LoopbackHub::LoopbackHub(int nodes) : state_(std::make_shared<State>()) {
+  if (nodes < 1) throw std::invalid_argument("LoopbackHub: nodes < 1");
+  state_->nodes = nodes;
+  state_->links.resize(static_cast<std::size_t>(nodes) *
+                       static_cast<std::size_t>(nodes));
+  for (auto& l : state_->links) l.open = true;
+  state_->taken.assign(static_cast<std::size_t>(nodes), false);
+}
+
+std::unique_ptr<MailboxTransport> LoopbackHub::endpoint(int node) {
+  if (node < 0 || node >= state_->nodes)
+    throw std::invalid_argument("LoopbackHub: bad node id");
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->taken[static_cast<std::size_t>(node)])
+      throw std::logic_error("LoopbackHub: endpoint taken twice");
+    state_->taken[static_cast<std::size_t>(node)] = true;
+  }
+  return std::make_unique<Endpoint>(state_, node);
+}
+
+}  // namespace mcam::estelle

@@ -1,0 +1,118 @@
+// MailboxTransport — the pluggable frame channel of the distributed runner.
+//
+// A transport connects one node (process or thread) to its peers and moves
+// Frames (frame.hpp) between them. The contract is deliberately minimal so
+// the three FreeRunning synchronization primitives stay the only coupling
+// surface:
+//
+//   * send() is NONBLOCKING: the frame is queued (and as much as the medium
+//     accepts is pushed) and the call returns. A full bounded outbound queue
+//     returns kQueueFull — the runner's back-pressure park: it pumps recv()
+//     (keeping the peer draining) and retries, exactly how a free-running
+//     shard parks on a full firing log instead of blocking the world.
+//   * recv() pumps the medium for up to timeout_ms and returns at most one
+//     frame. kClosed reports a dead peer (closed/reset connection) exactly
+//     once per peer — the runner turns it into a structured RunReport error
+//     instead of hanging on the advertised-round gate.
+//   * per-peer FIFO order is guaranteed (stream sockets / in-order queues).
+//     The round-composition argument leans on it: a Transfer sent during
+//     round k precedes the sender's round-k completion frames, so a gate
+//     release implies every earlier-round transfer already arrived.
+//
+// Implementations:
+//   LoopbackTransport (here)            — in-process, zero-copy Frame moves,
+//                                         no serialization; the
+//                                         overhead-neutral default.
+//   StreamSocketTransport (socket_transport.hpp)
+//                                       — Unix-domain or TCP stream mesh,
+//                                         length-prefixed BER frames.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "estelle/executor.hpp"  // TransportStats
+#include "estelle/transport/frame.hpp"
+
+namespace mcam::estelle {
+
+/// common::Error codes produced by transports.
+enum TransportError : int {
+  kPeerClosed = 2001,   ///< connection closed/reset by the peer
+  kQueueFull = 2002,    ///< bounded outbound queue at capacity (back-pressure)
+  kProtocol = 2003,     ///< stream corruption / undecodable frame
+  kSetupFailed = 2004,  ///< mesh construction failed (bind/connect/accept)
+};
+
+class MailboxTransport {
+ public:
+  enum class RecvOutcome {
+    kFrame,   ///< *out holds a frame (from *from)
+    kIdle,    ///< nothing arrived within the timeout
+    kClosed,  ///< *from's connection died; *error describes it
+  };
+
+  virtual ~MailboxTransport() = default;
+
+  /// Peer node ids this endpoint can reach (excludes the own node).
+  [[nodiscard]] virtual const std::vector<int>& peers() const noexcept = 0;
+
+  /// Queue `f` for `peer` and push what the medium accepts; never blocks.
+  /// Errors: kQueueFull (retry after pumping recv), kPeerClosed.
+  virtual common::Status send(int peer, Frame f) = 0;
+
+  /// Pump the medium for up to `timeout_ms` (0 = poll) and hand out at most
+  /// one frame.
+  virtual RecvOutcome recv(int* from, Frame* out, int timeout_ms,
+                           std::string* error) = 0;
+
+  [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
+  /// Counters the *runner* owns semantically but that live with the frames
+  /// (null-rounds serviced) are added through here.
+  [[nodiscard]] TransportStats& mutable_stats() noexcept { return stats_; }
+
+ protected:
+  TransportStats stats_;
+};
+
+/// In-process transport: N endpoints over shared bounded frame queues.
+/// send() *moves* the Frame into the destination queue — no serialization,
+/// no copy — so a single-process distributed topology costs two queue
+/// operations per frame. Endpoint destruction closes its links: surviving
+/// peers observe kClosed, which is how tests emulate peer death in-process.
+class LoopbackHub {
+ public:
+  /// Frames one inbound queue may hold before send() back-pressures.
+  static constexpr std::size_t kQueueCap = 8192;
+
+  explicit LoopbackHub(int nodes);
+
+  /// The transport endpoint of `node`; callable once per node.
+  [[nodiscard]] std::unique_ptr<MailboxTransport> endpoint(int node);
+
+ private:
+  class Endpoint;
+  /// All queues plus one hub-wide monitor. One lock for the whole hub keeps
+  /// the implementation obviously deadlock-free; loopback is for tests,
+  /// benches and single-machine topologies, not for scaling node counts.
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    int nodes = 0;
+    /// link[to * nodes + from]: frames in flight from `from` to `to`.
+    struct Link {
+      std::vector<Frame> q;
+      std::size_t head = 0;  // consumed prefix (compacted when drained)
+      bool open = false;
+    };
+    std::vector<Link> links;
+    std::vector<bool> taken;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace mcam::estelle
