@@ -54,6 +54,9 @@ struct Args {
   int port = 47310;
   int systems = 4;
   int tokens = 64;
+  /// --hosts h0,h1[:port],... — one entry per node for a TCP mesh that
+  /// spans machines. Empty keeps the single-machine loopback default.
+  std::vector<std::string> hosts;
 };
 
 /// Token ring: worker 0 seeds `tokens` tokens; each worker forwards to the
@@ -116,6 +119,7 @@ int run_node(const Args& args, int node,
   opts.node = node;
   opts.nodes = args.nodes;
   opts.transport = std::move(transport);
+  opts.peer_hosts = args.hosts;
   estelle::ExecutorConfig cfg;
   cfg.kind = estelle::ExecutorKind::Distributed;
   cfg.backend_options = opts;
@@ -143,7 +147,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--nodes N] [--node I] [--transport "
                "loopback|unix|tcp]\n          [--dir PATH] [--port P] "
-               "[--systems K] [--tokens T]\n",
+               "[--hosts h0,h1[:port],...] [--systems K] [--tokens T]\n",
                argv0);
   return 2;
 }
@@ -161,6 +165,14 @@ int main(int argc, char** argv) {
     else if (want("--transport")) args.transport = argv[++i];
     else if (want("--dir")) args.dir = argv[++i];
     else if (want("--port")) args.port = std::atoi(argv[++i]);
+    else if (want("--hosts")) {
+      std::string list = argv[++i];
+      for (std::size_t at = 0; at <= list.size();) {
+        const std::size_t comma = std::min(list.find(',', at), list.size());
+        args.hosts.push_back(list.substr(at, comma - at));
+        at = comma + 1;
+      }
+    }
     else if (want("--systems")) args.systems = std::atoi(argv[++i]);
     else if (want("--tokens")) args.tokens = std::atoi(argv[++i]);
     else return usage(argv[0]);
@@ -207,7 +219,8 @@ int main(int argc, char** argv) {
     transport = std::move(mesh.value());
   } else if (args.nodes > 1 && args.transport == "tcp") {
     auto mesh = estelle::StreamSocketTransport::tcp_mesh(
-        args.node, args.nodes, static_cast<std::uint16_t>(args.port));
+        args.node, args.nodes, static_cast<std::uint16_t>(args.port),
+        args.hosts);
     if (!mesh.ok()) {
       std::fprintf(stderr, "tcp mesh: %s\n", mesh.error().message.c_str());
       return 1;

@@ -202,6 +202,15 @@ std::string Value::to_string() const {
           return content_.size() == 1 && content_[0] ? "TRUE" : "FALSE";
         case UniversalTag::Integer:
         case UniversalTag::Enumerated: {
+          if (constructed_) {
+            // Hostile encodings only — as_int() rejects constructed values
+            // with a message that renders this value, so calling it here
+            // would recurse without bound. Render generically instead.
+            head = tag_ == static_cast<std::uint32_t>(UniversalTag::Enumerated)
+                       ? "ENUM"
+                       : "INTEGER";
+            break;
+          }
           auto v = as_int();
           head = v.ok() ? std::to_string(v.value()) : "INTEGER<bad>";
           return (tag_ == static_cast<std::uint32_t>(UniversalTag::Enumerated)
@@ -218,6 +227,9 @@ std::string Value::to_string() const {
         case UniversalTag::PrintableString:
           return '"' + std::string(content_.begin(), content_.end()) + '"';
         case UniversalTag::ObjectIdentifier: {
+          // Same recursion hazard as INTEGER above: as_oid() rejects these
+          // shapes with a message that renders this value.
+          if (constructed_ || content_.empty()) return "OID<bad>";
           auto arcs = as_oid();
           if (!arcs.ok()) return "OID<bad>";
           std::string s = "OID ";

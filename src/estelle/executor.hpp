@@ -281,6 +281,16 @@ struct FreeRunningStats {
 /// shard's round; handshake_retries counts connection attempts beyond the
 /// first during mesh setup; send_queue_high_water is the largest backlog (in
 /// bytes, frames under loopback) any peer's bounded outbound queue reached.
+///
+/// The batching counters quantify the PR 7 hot path: syscalls counts data
+/// I/O system calls issued (sendmsg/read — polls excluded, they are
+/// symmetric across modes and would dilute the per-round comparison);
+/// frames_batched counts individual transfers that traveled inside a
+/// TransferBatch frame instead of as their own frame; bytes_per_write is
+/// the largest byte count one write syscall flushed (scatter-gather makes
+/// this the whole backlog, not one frame); encode_pool_reuse counts frame
+/// encodes served entirely by a warmed per-peer buffer (no growth — the
+/// allocation-free steady state).
 struct TransportStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_received = 0;
@@ -289,6 +299,10 @@ struct TransportStats {
   std::uint64_t null_rounds_serviced = 0;
   std::uint64_t handshake_retries = 0;
   std::uint64_t send_queue_high_water = 0;
+  std::uint64_t syscalls = 0;
+  std::uint64_t frames_batched = 0;
+  std::uint64_t bytes_per_write = 0;
+  std::uint64_t encode_pool_reuse = 0;
 };
 
 /// Per-module firing summary, published into RunReport by a MetricsObserver

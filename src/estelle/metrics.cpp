@@ -108,6 +108,13 @@ std::string MetricsObserver::to_string(std::size_t top) const {
         static_cast<unsigned long long>(transport_.null_rounds_serviced),
         static_cast<unsigned long long>(transport_.handshake_retries),
         static_cast<unsigned long long>(transport_.send_queue_high_water));
+    out += common::strf(
+        "    batching: %llu syscalls, %llu transfers batched, largest write "
+        "%llu bytes, encode-buffer reuses %llu\n",
+        static_cast<unsigned long long>(transport_.syscalls),
+        static_cast<unsigned long long>(transport_.frames_batched),
+        static_cast<unsigned long long>(transport_.bytes_per_write),
+        static_cast<unsigned long long>(transport_.encode_pool_reuse));
   }
   out += "  firing-gap histogram (us, log2 buckets):\n";
   for (std::size_t b = 0; b < histogram_.size(); ++b) {

@@ -1,0 +1,173 @@
+#include "estelle/transport/buffer_chain.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <sys/uio.h>
+#include <utility>
+
+namespace mcam::estelle {
+
+// ---------------------------------------------------------------------------
+// SegmentPool
+
+SegmentPool::SegmentPool(std::size_t max_free) : max_free_(max_free) {}
+
+SegmentPool::~SegmentPool() {
+  while (free_ != nullptr) {
+    Segment* next = free_->next_free;
+    delete free_;
+    free_ = next;
+  }
+}
+
+SegmentPool::Segment* SegmentPool::acquire() {
+  if (free_ != nullptr) {
+    Segment* s = free_;
+    free_ = s->next_free;
+    --free_count_;
+    s->next_free = nullptr;
+    s->refs = 1;
+    ++pool_hits_;
+    return s;
+  }
+  ++spills_;
+  Segment* s = new Segment;
+  s->refs = 1;
+  return s;
+}
+
+void SegmentPool::release(Segment* s) {
+  assert(s->refs > 0);
+  if (--s->refs > 0) return;
+  if (free_count_ >= max_free_) {
+    delete s;  // spill bound: do not pin burst memory forever
+    return;
+  }
+  s->next_free = free_;
+  free_ = s;
+  ++free_count_;
+}
+
+// ---------------------------------------------------------------------------
+// BufferChain
+
+BufferChain::BufferChain(BufferChain&& other) noexcept
+    : nodes_(std::move(other.nodes_)),
+      head_(other.head_),
+      size_(other.size_),
+      pool_(other.pool_),
+      tail_open_(other.tail_open_) {
+  other.nodes_.clear();
+  other.head_ = 0;
+  other.size_ = 0;
+  other.tail_open_ = false;
+}
+
+BufferChain& BufferChain::operator=(BufferChain&& other) noexcept {
+  if (this == &other) return *this;
+  clear();
+  nodes_ = std::move(other.nodes_);
+  head_ = other.head_;
+  size_ = other.size_;
+  pool_ = other.pool_;
+  tail_open_ = other.tail_open_;
+  other.nodes_.clear();
+  other.head_ = 0;
+  other.size_ = 0;
+  other.tail_open_ = false;
+  return *this;
+}
+
+void BufferChain::append(common::ByteSpan data) {
+  while (!data.empty()) {
+    if (!tail_open_) {
+      nodes_.push_back(Node{pool_->acquire(), 0, 0});
+      tail_open_ = true;
+    }
+    Node& t = nodes_.back();
+    // off advances as the head drains, so the fill frontier is off + len
+    // even when the same segment is both head and tail.
+    const std::size_t frontier = t.off + t.len;
+    const std::size_t room = SegmentPool::kSegmentBytes - frontier;
+    if (room == 0) {
+      tail_open_ = false;
+      continue;
+    }
+    const std::size_t n = data.size() < room ? data.size() : room;
+    std::memcpy(t.seg->data + frontier, data.data(), n);
+    t.len += static_cast<std::uint32_t>(n);
+    size_ += n;
+    data = data.subspan(n);
+    if (frontier + n == SegmentPool::kSegmentBytes) tail_open_ = false;
+  }
+}
+
+void BufferChain::append_block(const BufferChain& block) {
+  for (std::size_t i = block.head_; i < block.nodes_.size(); ++i) {
+    const Node& n = block.nodes_[i];
+    if (n.len == 0) continue;
+    pool_->add_ref(n.seg);
+    nodes_.push_back(n);
+    size_ += n.len;
+  }
+  // Shared segments are immutable from this side; never fill into one.
+  tail_open_ = false;
+}
+
+std::size_t BufferChain::fill_iov(iovec* iov,
+                                  std::size_t max_iov) const noexcept {
+  std::size_t k = 0;
+  for (std::size_t i = head_; i < nodes_.size() && k < max_iov; ++i) {
+    const Node& n = nodes_[i];
+    if (n.len == 0) continue;
+    iov[k].iov_base = n.seg->data + n.off;
+    iov[k].iov_len = n.len;
+    ++k;
+  }
+  return k;
+}
+
+void BufferChain::release_node(Node& n) {
+  pool_->release(n.seg);
+  n.seg = nullptr;
+}
+
+void BufferChain::consume(std::size_t n) {
+  assert(n <= size_);
+  size_ -= n;
+  while (n > 0) {
+    Node& h = nodes_[head_];
+    if (n < h.len) {
+      h.off += static_cast<std::uint32_t>(n);
+      h.len -= static_cast<std::uint32_t>(n);
+      break;
+    }
+    n -= h.len;
+    release_node(h);
+    ++head_;
+  }
+  if (head_ == nodes_.size()) {
+    // Fully drained. clear() keeps the vector's capacity, so a chain that
+    // drains completely every round — the flush steady state — never regrows
+    // its node vector; the segments themselves round-trip through the pool's
+    // free list, so the next append() is a pool hit, not an allocation.
+    nodes_.clear();
+    head_ = 0;
+    tail_open_ = false;
+  } else if (head_ > 32 && head_ * 2 >= nodes_.size()) {
+    nodes_.erase(nodes_.begin(),
+                 nodes_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+}
+
+void BufferChain::clear() {
+  for (std::size_t i = head_; i < nodes_.size(); ++i)
+    if (nodes_[i].seg != nullptr) release_node(nodes_[i]);
+  nodes_.clear();
+  head_ = 0;
+  size_ = 0;
+  tail_open_ = false;
+}
+
+}  // namespace mcam::estelle

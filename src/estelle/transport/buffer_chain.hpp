@@ -1,0 +1,135 @@
+// BufferChain — pooled segment chains for the socket transmit path.
+//
+// The PR 6 transport kept one flat Bytes per connection: every enqueued
+// frame appended into it, every flush erase-compacted it, and a burst of
+// per-transfer frames churned the allocator. This is the embedded-net-stack
+// answer (the mios pbuf idiom): transmit bytes live in fixed-size segments
+// drawn from a per-transport pool, a connection's backlog is a chain of
+// (segment, offset, length) views, and a flush hands the whole chain to one
+// scatter-gather syscall (sendmsg) instead of copying it contiguous.
+//
+//   * Segments are refcounted, so a chain can append another chain's
+//     segments by reference (append_block) — fan-out of one encoded frame
+//     to many peers shares the payload octets instead of copying them.
+//   * The pool's free list is bounded (spill-bounded): segments released
+//     beyond the bound return to the heap, so a transient burst does not
+//     pin its high-water memory forever. Within the bound, acquire/release
+//     never touches the allocator — the steady-state send path is
+//     allocation-free once warmed.
+//   * Single-threaded by design: a transport (and therefore its pool and
+//     chains) is owned by one runner thread, matching MailboxTransport's
+//     threading contract, so no atomics are needed on the refcounts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+struct iovec;  // <sys/uio.h>; forward-declared to keep this header light
+
+namespace mcam::estelle {
+
+/// Fixed-size transmit segments with a bounded free list.
+class SegmentPool {
+ public:
+  /// Segment payload size. Large enough that a typical round's whole
+  /// backlog to one peer fits in one or two segments, small enough that a
+  /// mostly-idle connection does not pin megabytes.
+  static constexpr std::size_t kSegmentBytes = 16384;
+
+  struct Segment {
+    std::uint8_t data[kSegmentBytes];
+    std::uint32_t refs = 0;
+    Segment* next_free = nullptr;
+  };
+
+  explicit SegmentPool(std::size_t max_free = 64);
+  ~SegmentPool();
+  SegmentPool(const SegmentPool&) = delete;
+  SegmentPool& operator=(const SegmentPool&) = delete;
+
+  /// A segment with refs == 1: from the free list when possible, freshly
+  /// allocated (a "spill") otherwise.
+  [[nodiscard]] Segment* acquire();
+  void add_ref(Segment* s) noexcept { ++s->refs; }
+  /// Drop one reference; the last one returns the segment to the free list
+  /// (or the heap once the free list is at its bound).
+  void release(Segment* s);
+
+  /// Segments currently parked on the free list.
+  [[nodiscard]] std::size_t free_count() const noexcept { return free_count_; }
+  /// acquire() calls served without allocating.
+  [[nodiscard]] std::uint64_t pool_hits() const noexcept { return pool_hits_; }
+  /// acquire() calls that had to allocate (cold start and overflow).
+  [[nodiscard]] std::uint64_t spills() const noexcept { return spills_; }
+
+ private:
+  Segment* free_ = nullptr;
+  std::size_t free_count_ = 0;
+  std::size_t max_free_;
+  std::uint64_t pool_hits_ = 0;
+  std::uint64_t spills_ = 0;
+};
+
+/// A FIFO byte queue over pooled segments. append() copies into the owned
+/// tail segment; append_block() shares another chain's segments by
+/// reference; fill_iov()/consume() drive the scatter-gather drain.
+class BufferChain {
+ public:
+  /// iovec entries one fill_iov() can produce; callers size their stack
+  /// array to this. IOV_MAX is at least 1024 everywhere we run; 64 segments
+  /// already cover a megabyte of backlog per syscall.
+  static constexpr std::size_t kMaxIov = 64;
+
+  explicit BufferChain(SegmentPool* pool = nullptr) noexcept : pool_(pool) {}
+  ~BufferChain() { clear(); }
+  BufferChain(const BufferChain&) = delete;
+  BufferChain& operator=(const BufferChain&) = delete;
+  BufferChain(BufferChain&& other) noexcept;
+  BufferChain& operator=(BufferChain&& other) noexcept;
+
+  /// Late pool binding for containers of default-constructed chains.
+  void bind(SegmentPool* pool) noexcept { pool_ = pool; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Chain nodes currently queued (one per segment view).
+  [[nodiscard]] std::size_t segments() const noexcept {
+    return nodes_.size() - head_;
+  }
+
+  /// Copy `data` in, filling the exclusively-owned tail segment before
+  /// acquiring the next one.
+  void append(common::ByteSpan data);
+  /// Share `block`'s queued segments by reference — no byte is copied; both
+  /// chains release their claim independently.
+  void append_block(const BufferChain& block);
+
+  /// Describe up to max_iov leading views for readv/writev-style I/O.
+  /// Returns the number of entries written.
+  std::size_t fill_iov(iovec* iov, std::size_t max_iov) const noexcept;
+  /// Drop the first `n` bytes (accepted by the socket); fully-drained
+  /// segments go back to the pool.
+  void consume(std::size_t n);
+  void clear();
+
+ private:
+  struct Node {
+    SegmentPool::Segment* seg = nullptr;
+    std::uint32_t off = 0;  // first unconsumed byte within seg
+    std::uint32_t len = 0;  // unconsumed bytes
+  };
+
+  void release_node(Node& n);
+
+  std::vector<Node> nodes_;
+  std::size_t head_ = 0;  // consumed prefix of nodes_, compacted when drained
+  std::size_t size_ = 0;
+  SegmentPool* pool_ = nullptr;
+  /// nodes_.back() is an exclusively-owned segment with room to fill.
+  bool tail_open_ = false;
+};
+
+}  // namespace mcam::estelle

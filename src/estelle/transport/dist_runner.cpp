@@ -204,6 +204,13 @@ void DistributedRunner::build_tables() {
   dedupe(gate_shards_);
   dedupe(neighbor_peers_);
   for (auto& v : advertise_peers_) dedupe(v);
+  peer_batches_.clear();
+  for (const int p : neighbor_peers_) {
+    PeerBatch b;
+    b.peer = p;
+    b.frame.type = FrameType::TransferBatch;
+    peer_batches_.push_back(std::move(b));
+  }
 }
 
 bool DistributedRunner::handshake() {
@@ -224,6 +231,7 @@ bool DistributedRunner::handshake() {
   hello.assign_hash = id_assign_hash_;
   for (PeerState& p : peers_)
     if (!send_frame(p.node, hello)) return false;
+  transport_->flush();
 
   const auto watchdog = std::chrono::milliseconds(opts_.gate_timeout_ms);
   auto deadline = SteadyClock::now() + watchdog;
@@ -291,26 +299,24 @@ void DistributedRunner::on_frame(int from, Frame& f) {
         fail("distributed: node " + std::to_string(from) +
              " refused the handshake: " + f.reason);
       return;
-    case FrameType::Transfer: {
-      const int pos = f.channel < wire_by_index_.size()
-                          ? wire_by_index_[f.channel]
-                          : -1;
-      if (pos < 0) {
+    case FrameType::Transfer:
+      (void)accept_transfer(from, f.channel, f.dir, std::move(f.msg),
+                            f.sent_at_ns, f.round);
+      return;
+    case FrameType::TransferBatch: {
+      if (f.rejected_entries != 0) {
+        // The frame decoded but entries inside it did not: their transfers
+        // are lost, which would silently break the ≡ Sequential guarantee.
+        // Fail loudly instead.
         fail("distributed: node " + std::to_string(from) +
-             " sent a transfer on unknown channel " +
-             std::to_string(f.channel));
+             " sent a transfer batch with " +
+             std::to_string(f.rejected_entries) + " undecodable entries");
         return;
       }
-      const WireChannel& wc = wire_channels_[static_cast<std::size_t>(pos)];
-      if (f.dir != wc.dir_to_local) {
-        fail("distributed: node " + std::to_string(from) +
-             " sent a transfer for an endpoint it owns (channel " +
-             std::to_string(f.channel) + ")");
-        return;
-      }
-      wc.local_ep->inject_transfer(std::move(f.msg), SimTime{f.sent_at_ns},
-                                   f.round);
-      ++transfers_recv_;
+      for (TransferEntry& e : f.entries)
+        if (!accept_transfer(from, e.channel, e.dir, std::move(e.msg),
+                             e.sent_at_ns, f.round))
+          return;
       return;
     }
     case FrameType::Advertise:
@@ -338,7 +344,7 @@ void DistributedRunner::on_frame(int from, Frame& f) {
       ack.quiescent = ran_any_round_ && last_quiescent_ && !transfers_pending();
       ack.sent = transfers_sent_;
       ack.recv = transfers_recv_;
-      (void)send_frame(from, ack);
+      if (send_frame(from, ack)) transport_->flush();
       return;
     }
     case FrameType::ProbeAck:
@@ -377,12 +383,17 @@ void DistributedRunner::on_hello(int from, const Frame& f) {
   w.node = static_cast<std::uint32_t>(opts_.node);
   w.accept = why.empty();
   w.reason = why;
-  (void)send_frame(from, w);
+  if (send_frame(from, w)) transport_->flush();
   if (!why.empty())
     fail("distributed: refusing node " + std::to_string(from) + ": " + why);
 }
 
-bool DistributedRunner::send_frame(int peer, Frame f) {
+bool DistributedRunner::send_frame(int peer, Frame& f) {
+  // The transport contract keeps `f` intact on failure, so the retry loop
+  // below re-sends the same object without copying. On success an
+  // in-process endpoint may have MOVED it — callers that reuse one frame
+  // across peers rely on frames whose live fields are scalars (member-wise
+  // move copies those); the batch path clears its entries after each send.
   if (transport_ == nullptr) return true;
   const auto deadline = SteadyClock::now() +
                         std::chrono::milliseconds(opts_.gate_timeout_ms);
@@ -413,6 +424,29 @@ bool DistributedRunner::send_frame(int peer, Frame f) {
          " failed: " + st.error().message);
     return false;
   }
+}
+
+bool DistributedRunner::accept_transfer(int from, std::uint32_t channel,
+                                        std::uint8_t dir, Interaction&& msg,
+                                        std::int64_t sent_at_ns,
+                                        std::uint64_t round) {
+  const int pos =
+      channel < wire_by_index_.size() ? wire_by_index_[channel] : -1;
+  if (pos < 0) {
+    fail("distributed: node " + std::to_string(from) +
+         " sent a transfer on unknown channel " + std::to_string(channel));
+    return false;
+  }
+  const WireChannel& wc = wire_channels_[static_cast<std::size_t>(pos)];
+  if (dir != wc.dir_to_local) {
+    fail("distributed: node " + std::to_string(from) +
+         " sent a transfer for an endpoint it owns (channel " +
+         std::to_string(channel) + ")");
+    return false;
+  }
+  wc.local_ep->inject_transfer(std::move(msg), SimTime{sent_at_ns}, round);
+  ++transfers_recv_;
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -533,22 +567,64 @@ void DistributedRunner::execute_shard_round(int s, ShardState& shard,
   stats_.fired += fired_now;
 }
 
-bool DistributedRunner::export_transfers(std::uint64_t /*r*/) {
+bool DistributedRunner::export_transfers(std::uint64_t r) {
+  // Coalesce this round's transfers into one TransferBatch per peer: the
+  // flush in send_round_frames() still precedes the round's Advertise on the
+  // same FIFO stream, so gate release continues to imply transfer arrival.
+  // Transfers stamped for another round (delay leaps) take the legacy
+  // per-frame path — correct either way, they just never share a stamp.
+  bool any_batched = false;
   for (const WireChannel& wc : wire_channels_) {
     if (!wc.remote_ep->has_pending_transfers()) continue;
     export_scratch_.clear();
     wc.remote_ep->take_transfers(export_scratch_);
     for (InteractionPoint::Transfer& t : export_scratch_) {
+      if (opts_.batch_transfers && t.round == r) {
+        for (PeerBatch& b : peer_batches_) {
+          if (b.peer != wc.peer_node) continue;
+          b.frame.entries.push_back(TransferEntry{
+              wc.index, wc.dir_to_remote, t.sent_at.ns, std::move(t.msg)});
+          any_batched = true;
+          break;
+        }
+      } else {
+        Frame f;
+        f.type = FrameType::Transfer;
+        f.channel = wc.index;
+        f.dir = wc.dir_to_remote;
+        f.round = t.round;
+        f.sent_at_ns = t.sent_at.ns;
+        f.msg = std::move(t.msg);
+        if (!send_frame(wc.peer_node, f)) return false;
+        if (!opts_.batch_transfers && transport_ != nullptr)
+          transport_->flush();  // baseline mode: one syscall per frame
+        ++transfers_sent_;
+      }
+    }
+  }
+  if (!any_batched) return true;
+  for (PeerBatch& b : peer_batches_) {
+    if (b.frame.entries.empty()) continue;
+    const std::size_t n = b.frame.entries.size();
+    if (n == 1) {
+      // Single-transfer round: the small Transfer frame costs fewer wire
+      // bytes than a one-entry batch.
+      TransferEntry& e = b.frame.entries.front();
       Frame f;
       f.type = FrameType::Transfer;
-      f.channel = wc.index;
-      f.dir = wc.dir_to_remote;
-      f.round = t.round;
-      f.sent_at_ns = t.sent_at.ns;
-      f.msg = std::move(t.msg);
-      if (!send_frame(wc.peer_node, std::move(f))) return false;
-      ++transfers_sent_;
+      f.channel = e.channel;
+      f.dir = e.dir;
+      f.round = r;
+      f.sent_at_ns = e.sent_at_ns;
+      f.msg = std::move(e.msg);
+      if (!send_frame(b.peer, f)) return false;
+    } else {
+      b.frame.type = FrameType::TransferBatch;
+      b.frame.round = r;
+      if (!send_frame(b.peer, b.frame)) return false;
     }
+    transfers_sent_ += n;
+    b.frame.entries.clear();
   }
   return true;
 }
@@ -575,6 +651,9 @@ bool DistributedRunner::send_round_frames(std::uint64_t r, bool quiescent) {
     if (p.departed) continue;
     if (!send_frame(p.node, done)) return false;
   }
+  // Round boundary: push the whole backlog — transfers, then advertises,
+  // then RoundDone — in one scatter-gather syscall per peer.
+  if (transport_ != nullptr) transport_->flush();
   return true;
 }
 
@@ -633,6 +712,7 @@ bool DistributedRunner::await_termination() {
         probe.epoch = probe_epoch_;
         for (PeerState& p : peers_)
           if (!send_frame(p.node, probe)) return true;
+        transport_->flush();
         for (;;) {  // collect this epoch's acks
           if (!error_.empty()) return true;
           for (const PeerState& p : peers_)
@@ -675,6 +755,7 @@ bool DistributedRunner::await_termination() {
           bye.node = static_cast<std::uint32_t>(opts_.node);
           for (const PeerState& p : peers_)
             if (!p.departed) (void)transport_->send(p.node, bye);
+          transport_->flush();
           bye_sent_ = true;
           finished_ = true;
           return true;
@@ -777,6 +858,7 @@ void DistributedRunner::decorate_report(RunReport& report) {
     bye.node = static_cast<std::uint32_t>(opts_.node);
     for (const PeerState& p : peers_)
       if (!p.departed) (void)transport_->send(p.node, bye);
+    transport_->flush();
     bye_sent_ = true;
   }
 }

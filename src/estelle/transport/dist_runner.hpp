@@ -90,6 +90,17 @@ struct DistOptions {
   /// termination protocol. Expiry aborts the run with RunReport::error
   /// instead of hanging.
   int gate_timeout_ms = 30000;
+  /// Coalesce a round's transfers to each peer into one TransferBatch frame
+  /// (flushed strictly before that round's Advertise, so the FIFO
+  /// transfer-before-advertise ordering — and the merged-trace ≡ Sequential
+  /// guarantee — is unchanged). Single-transfer rounds keep the small
+  /// Transfer frame. Off reproduces the one-frame-one-syscall baseline the
+  /// bench and the differential sweep compare against.
+  bool batch_transfers = true;
+  /// Per-node "host" / "host:port" list for multi-machine TCP meshes,
+  /// carried here so one options object fully describes a run. Consumed by
+  /// StreamSocketTransport::tcp_mesh (the runner itself never dials).
+  std::vector<std::string> peer_hosts;
   /// Per-firing tap with the (round, shard) coordinates the cross-node
   /// trace merge needs (RunObserver::on_fire does not carry them). Called
   /// before the transition's action, like a sequential announcement.
@@ -172,13 +183,19 @@ class DistributedRunner final : public ShardedExecutor {
   /// shard fired or leapt a delay (the round did local work).
   bool run_round(std::uint64_t r);
   void execute_shard_round(int s, ShardState& shard, std::uint64_t r);
-  /// Ship every transfer parked on remote replica endpoints as Transfer
-  /// frames; pumps through transport back-pressure.
+  /// Ship every transfer parked on remote replica endpoints: coalesced into
+  /// one TransferBatch per peer (batch_transfers, the default) or as one
+  /// Transfer frame each; pumps through transport back-pressure.
   bool export_transfers(std::uint64_t r);
   bool send_round_frames(std::uint64_t r, bool quiescent);
   /// send with kQueueFull back-pressure handling (pump + retry under the
-  /// watchdog). False ⇒ error_ set.
-  bool send_frame(int peer, Frame f);
+  /// watchdog) — the contract keeps `f` intact across retries, so the loop
+  /// never copies it. False ⇒ error_ set.
+  bool send_frame(int peer, Frame& f);
+  /// Inject one received transfer; false ⇒ error_ set (bad channel/dir).
+  bool accept_transfer(int from, std::uint32_t channel, std::uint8_t dir,
+                       Interaction&& msg, std::int64_t sent_at_ns,
+                       std::uint64_t round);
 
   /// Wait until every remote gate shard has advertised >= `need`.
   bool gate(std::uint64_t need);
@@ -218,11 +235,19 @@ class DistributedRunner final : public ShardedExecutor {
   std::uint64_t id_spec_hash_ = 0;       // what our Hello carries
   std::uint64_t id_assign_hash_ = 0;
 
-  std::uint64_t transfers_sent_ = 0;  // Transfer frames (flow conservation)
-  std::uint64_t transfers_recv_ = 0;
+  std::uint64_t transfers_sent_ = 0;  // transfers (flow conservation; a
+  std::uint64_t transfers_recv_ = 0;  // batch counts per entry)
   std::uint64_t probe_epoch_ = 0;
 
   std::vector<InteractionPoint::Transfer> export_scratch_;
+  /// Per neighbor peer: the persistent TransferBatch frame a round's
+  /// outbound transfers coalesce into (entries cleared after each flush,
+  /// capacity retained — wire sends leave the frame intact).
+  struct PeerBatch {
+    int peer = 0;
+    Frame frame;
+  };
+  std::vector<PeerBatch> peer_batches_;
 };
 
 }  // namespace mcam::estelle

@@ -34,15 +34,32 @@
 //   ProbeAck [8]   node, epoch, quiescent, sent, recv — flow-conservation
 //                  reply (Σsent == Σrecv across nodes ⇒ nothing in flight).
 //   Bye [9]        node — coordinator-confirmed global quiescence.
+//   TransferBatch [10]
+//                  round, then SEQUENCE OF entry — all of one round's
+//                  transfers to one peer under a single shared round stamp.
+//                  Each entry is {channel, dir, sent_at_ns, kind, payload,
+//                  optional [0] value}: a Transfer minus the round field.
+//                  Transfer and TransferBatch bodies are emitted by a direct
+//                  BER writer into the caller's (reused) buffer — the hot
+//                  path never builds a Value tree, so a warmed send encodes
+//                  without allocating. Decode still goes through the general
+//                  codec; a structurally bad entry is *rejected individually*
+//                  (counted in Frame::rejected_entries) instead of killing
+//                  the frame — the length prefix already bounds the body, so
+//                  per-entry garbage can never misframe the stream.
 //
 // FrameReassembler turns an arbitrary split of the byte stream back into
 // frames: feed() whatever read() returned, next() yields complete frames.
-// Its receive buffer is reused across frames (compacted, never shrunk), so
-// steady-state reassembly performs no per-frame allocation.
+// Its receive buffer is reused across frames (compacted in place before it
+// would regrow, never shrunk), so steady-state reassembly performs no
+// per-frame allocation even at TransferBatch sizes — regrowths() counts the
+// times capacity had to be extended, and the transport bench asserts the
+// count stays flat once warmed.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
@@ -60,9 +77,19 @@ enum class FrameType : std::uint32_t {
   Probe = 7,
   ProbeAck = 8,
   Bye = 9,
+  TransferBatch = 10,
 };
 
 [[nodiscard]] const char* frame_type_name(FrameType t) noexcept;
+
+/// One transfer inside a TransferBatch: a Transfer minus the round stamp,
+/// which the batch carries once for all of them.
+struct TransferEntry {
+  std::uint32_t channel = 0;
+  std::uint8_t dir = 0;  // 0 ⇒ deliver into endpoint a, 1 ⇒ into b
+  std::int64_t sent_at_ns = 0;
+  Interaction msg;
+};
 
 /// One decoded frame. A flat product of every catalogue field — only the
 /// fields of `type` are meaningful, the rest stay default. Flat beats a
@@ -96,6 +123,12 @@ struct Frame {
   bool quiescent = false;
   std::uint64_t sent = 0;
   std::uint64_t recv = 0;
+
+  // TransferBatch (round is shared by every entry). A receiver must treat
+  // rejected_entries != 0 as a protocol failure: the frame decoded, but some
+  // entries were structurally bad and their transfers are lost.
+  std::vector<TransferEntry> entries;
+  std::uint32_t rejected_entries = 0;
 };
 
 /// Frames larger than this are rejected by the reassembler — a garbage
@@ -104,6 +137,8 @@ inline constexpr std::size_t kMaxFrameBytes = 1u << 24;
 
 /// Append the length-prefixed encoding of `f` to `out` (the send path —
 /// appending lets one outbound buffer batch many frames per write()).
+/// Transfer and TransferBatch take the direct-writer path: with `out`
+/// warmed to capacity the call performs no allocation.
 void encode_frame_to(const Frame& f, common::Bytes& out);
 /// The length-prefixed encoding of `f` as a fresh buffer (tests).
 [[nodiscard]] common::Bytes encode_frame(const Frame& f);
@@ -130,10 +165,17 @@ class FrameReassembler {
   [[nodiscard]] std::size_t pending() const noexcept {
     return buf_.size() - pos_;
   }
+  /// Times feed() had to extend the buffer's capacity. Flat after warmup ⇒
+  /// reassembly reuses its buffer across frames (the bench gate).
+  [[nodiscard]] std::uint64_t regrowths() const noexcept { return regrowths_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return buf_.capacity();
+  }
 
  private:
   common::Bytes buf_;
-  std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+  std::size_t pos_ = 0;  // consumed prefix, compacted before regrowth
+  std::uint64_t regrowths_ = 0;
 };
 
 }  // namespace mcam::estelle

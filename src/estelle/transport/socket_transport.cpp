@@ -5,10 +5,12 @@
 #include <chrono>
 #include <cstring>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <thread>
 #include <unistd.h>
@@ -129,11 +131,13 @@ Result<MeshSetup> build_mesh(
 }  // namespace
 
 StreamSocketTransport::StreamSocketTransport(std::vector<PeerFd> peers) {
+  conns_.reserve(peers.size());
   for (const PeerFd& p : peers) {
     set_nonblocking(p.fd);
     Conn c;
     c.node = p.node;
     c.fd = p.fd;
+    c.txq.bind(&pool_);
     conns_.push_back(std::move(c));
     peer_ids_.push_back(p.node);
   }
@@ -190,7 +194,32 @@ StreamSocketTransport::unix_mesh(int node, int nodes, const std::string& dir,
 }
 
 Result<std::unique_ptr<StreamSocketTransport>> StreamSocketTransport::tcp_mesh(
-    int node, int nodes, std::uint16_t base_port, int connect_timeout_ms) {
+    int node, int nodes, std::uint16_t base_port,
+    const std::vector<std::string>& hosts, int connect_timeout_ms) {
+  if (!hosts.empty() && static_cast<int>(hosts.size()) != nodes)
+    return Error::make(kSetupFailed,
+                       "tcp mesh: host list names " +
+                           std::to_string(hosts.size()) + " nodes, mesh has " +
+                           std::to_string(nodes));
+  // "host" or "host:port" for node i; loopback and base_port + i when
+  // unspecified. Resolution happens per dial attempt — it is the cold path,
+  // and a peer whose name appears late (DNS, container startup) benefits
+  // from being re-queried inside the retry loop.
+  const auto addr_of = [&](int i, std::string* host, std::uint16_t* port) {
+    *host = "127.0.0.1";
+    *port = static_cast<std::uint16_t>(base_port + i);
+    if (hosts.empty()) return;
+    const std::string& spec = hosts[static_cast<std::size_t>(i)];
+    if (spec.empty()) return;
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos) {
+      *host = spec;
+      return;
+    }
+    *host = spec.substr(0, colon);
+    *port = static_cast<std::uint16_t>(
+        std::strtoul(spec.c_str() + colon + 1, nullptr, 10));
+  };
   Result<MeshSetup> setup = build_mesh(
       node, nodes, connect_timeout_ms,
       [&]() {
@@ -200,9 +229,13 @@ Result<std::unique_ptr<StreamSocketTransport>> StreamSocketTransport::tcp_mesh(
         ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
-        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-        addr.sin_port =
-            htons(static_cast<std::uint16_t>(base_port + node));
+        // Peers on other machines must be able to dial us back.
+        addr.sin_addr.s_addr =
+            htonl(hosts.empty() ? INADDR_LOOPBACK : INADDR_ANY);
+        std::string self_host;
+        std::uint16_t self_port = 0;
+        addr_of(node, &self_host, &self_port);
+        addr.sin_port = htons(self_port);
         if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
             ::listen(fd, nodes) < 0) {
           ::close(fd);
@@ -211,17 +244,27 @@ Result<std::unique_ptr<StreamSocketTransport>> StreamSocketTransport::tcp_mesh(
         return fd;
       },
       [&](int peer) {
+        std::string host;
+        std::uint16_t port = 0;
+        addr_of(peer, &host, &port);
+        addrinfo hints{};
+        hints.ai_family = AF_INET;
+        hints.ai_socktype = SOCK_STREAM;
+        addrinfo* res = nullptr;
+        if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                          &res) != 0 ||
+            res == nullptr)
+          return -1;
         const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-        if (fd < 0) return -1;
+        if (fd < 0) {
+          ::freeaddrinfo(res);
+          return -1;
+        }
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-        sockaddr_in addr{};
-        addr.sin_family = AF_INET;
-        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-        addr.sin_port =
-            htons(static_cast<std::uint16_t>(base_port + peer));
-        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-            0) {
+        const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+        ::freeaddrinfo(res);
+        if (rc < 0) {
           ::close(fd);
           return -1;
         }
@@ -284,12 +327,18 @@ StreamSocketTransport::Conn* StreamSocketTransport::conn_of(
 }
 
 void StreamSocketTransport::try_flush(Conn& c) {
-  while (!c.closed && tx_backlog(c) > 0) {
-    const ssize_t w = ::send(c.fd, c.txq.data() + c.txpos, tx_backlog(c),
-                             MSG_NOSIGNAL | MSG_DONTWAIT);
+  while (!c.closed && !c.txq.empty()) {
+    iovec iov[BufferChain::kMaxIov];
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = c.txq.fill_iov(iov, BufferChain::kMaxIov);
+    const ssize_t w = ::sendmsg(c.fd, &mh, MSG_NOSIGNAL | MSG_DONTWAIT);
+    ++stats_.syscalls;
     if (w > 0) {
-      c.txpos += static_cast<std::size_t>(w);
+      c.txq.consume(static_cast<std::size_t>(w));
       stats_.bytes_sent += static_cast<std::uint64_t>(w);
+      if (static_cast<std::uint64_t>(w) > stats_.bytes_per_write)
+        stats_.bytes_per_write = static_cast<std::uint64_t>(w);
       continue;
     }
     if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -298,17 +347,9 @@ void StreamSocketTransport::try_flush(Conn& c) {
     c.close_reason = "send: " + std::string(strerror(errno));
     break;
   }
-  if (c.txpos == c.txq.size()) {
-    c.txq.clear();  // fully flushed — recycle capacity
-    c.txpos = 0;
-  } else if (c.txpos > 65536 && c.txpos * 2 >= c.txq.size()) {
-    c.txq.erase(c.txq.begin(),
-                c.txq.begin() + static_cast<std::ptrdiff_t>(c.txpos));
-    c.txpos = 0;
-  }
 }
 
-Status StreamSocketTransport::send(int peer, Frame f) {
+Status StreamSocketTransport::send(int peer, Frame& f) {
   Conn* c = conn_of(peer);
   if (c == nullptr)
     return Error::make(kProtocol, "send to unknown node " +
@@ -320,16 +361,32 @@ Status StreamSocketTransport::send(int peer, Frame f) {
   if (tx_backlog(*c) >= kMaxOutboundBytes)
     return Error::make(kQueueFull, "outbound queue to node " +
                                        std::to_string(peer) + " full");
-  encode_frame_to(f, c->txq);
+  // Encode into the per-peer scratch (reused across sends: once its
+  // capacity covers the working set the encode allocates nothing), then
+  // queue the octets on the segment chain. The socket push itself is left
+  // to flush()/recv() so a burst of frames shares one syscall.
+  const std::size_t warmed = c->encode_buf.capacity();
+  c->encode_buf.clear();
+  encode_frame_to(f, c->encode_buf);
+  if (warmed != 0 && c->encode_buf.capacity() == warmed)
+    ++stats_.encode_pool_reuse;
+  c->txq.append(ByteSpan{c->encode_buf.data(), c->encode_buf.size()});
   ++stats_.frames_sent;
+  if (f.type == FrameType::TransferBatch)
+    stats_.frames_batched += f.entries.size();
   if (tx_backlog(*c) > stats_.send_queue_high_water)
     stats_.send_queue_high_water = tx_backlog(*c);
-  try_flush(*c);
+  if (tx_backlog(*c) >= kEagerFlushBytes) try_flush(*c);
   if (c->closed)
     return Error::make(kPeerClosed,
                        "node " + std::to_string(peer) + ": " +
                            c->close_reason);
   return Status::ok_status();
+}
+
+void StreamSocketTransport::flush() {
+  for (Conn& c : conns_)
+    if (!c.txq.empty()) try_flush(c);
 }
 
 MailboxTransport::RecvOutcome StreamSocketTransport::recv(int* from,
@@ -380,6 +437,30 @@ MailboxTransport::RecvOutcome StreamSocketTransport::recv(int* from,
     // a send-side failure still reads (draining the peer's parting frames),
     // a receive-side EOF still flushes what we owe the peer.
     const auto dead = [](const Conn& c) { return c.closed && c.rx_eof; };
+    const auto drain_fd = [this](Conn& c) {
+      std::uint8_t chunk[65536];
+      bool got = false;
+      for (;;) {
+        const ssize_t r = ::read(c.fd, chunk, sizeof chunk);
+        ++stats_.syscalls;
+        if (r > 0) {
+          stats_.bytes_received += static_cast<std::uint64_t>(r);
+          c.rx.feed(ByteSpan{chunk, static_cast<std::size_t>(r)});
+          got = true;
+          if (r < static_cast<ssize_t>(sizeof chunk)) break;
+          continue;
+        }
+        if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (r < 0 && errno == EINTR) continue;
+        c.closed = true;
+        c.rx_eof = true;
+        if (c.close_reason.empty())
+          c.close_reason = r == 0 ? "connection closed"
+                                  : "read: " + std::string(strerror(errno));
+        break;
+      }
+      return got;
+    };
     std::size_t live = 0;
     for (const Conn& c : conns_)
       if (!dead(c)) ++live;
@@ -407,28 +488,8 @@ MailboxTransport::RecvOutcome StreamSocketTransport::recv(int* from,
         if (dead(c)) continue;
         const short rev = pfds[k++].revents;
         if (rev & POLLOUT) try_flush(c);
-        if (!c.rx_eof && (rev & (POLLIN | POLLHUP | POLLERR))) {
-          std::uint8_t chunk[65536];
-          for (;;) {
-            const ssize_t r = ::read(c.fd, chunk, sizeof chunk);
-            if (r > 0) {
-              stats_.bytes_received += static_cast<std::uint64_t>(r);
-              c.rx.feed(ByteSpan{chunk, static_cast<std::size_t>(r)});
-              got_bytes = true;
-              if (r < static_cast<ssize_t>(sizeof chunk)) break;
-              continue;
-            }
-            if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-            if (r < 0 && errno == EINTR) continue;
-            c.closed = true;
-            c.rx_eof = true;
-            if (c.close_reason.empty())
-              c.close_reason = r == 0
-                                   ? "connection closed"
-                                   : "read: " + std::string(strerror(errno));
-            break;
-          }
-        }
+        if (!c.rx_eof && (rev & (POLLIN | POLLHUP | POLLERR)) && drain_fd(c))
+          got_bytes = true;
       }
     }
     if (!got_bytes && wait <= 0 && timeout_ms >= 0) {

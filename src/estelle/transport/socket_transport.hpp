@@ -3,10 +3,18 @@
 // One connected stream per peer, length-prefixed BER frames (frame.hpp) on
 // the wire. The I/O discipline implements the transport contract:
 //
-//   * writes are NONBLOCKING against a bounded per-peer outbound buffer
-//     (kMaxOutboundBytes). send() appends the encoded frame, pushes what the
-//     socket accepts, and returns kQueueFull once the backlog is at the
-//     bound — the runner's back-pressure park.
+//   * send() encodes into a pooled per-peer buffer (reused every call — the
+//     encode_pool_reuse counter) and appends the octets to the peer's
+//     BufferChain (buffer_chain.hpp): fixed-size pooled segments, no flat
+//     backlog to erase-compact. The socket push is DEFERRED to flush() / the
+//     recv() pump unless the backlog crossed kEagerFlushBytes, so a round's
+//     worth of frames leaves in one scatter-gather syscall. kQueueFull is
+//     returned once the backlog reaches kMaxOutboundBytes — the runner's
+//     back-pressure park — with the frame left intact for the retry.
+//   * flush() drains every connection's chain with sendmsg(iovec[]) until
+//     EAGAIN/empty: one data syscall per peer per round in the steady
+//     state, whatever the transfer count (the syscalls counter, gated by
+//     bench_transport).
 //   * reads go through one reusable per-connection receive buffer
 //     (FrameReassembler): poll(), read into a fixed stack chunk, feed, and
 //     decode in place. Steady-state receive performs no per-frame
@@ -27,7 +35,11 @@
 //     (retrying while the listener appears — counted as handshake_retries)
 //     and accepts every j > i. A 4-byte big-endian node id preamble
 //     identifies the dialing node.
-//   * tcp_mesh: identical shape on 127.0.0.1:<base_port + j>.
+//   * tcp_mesh: identical shape on TCP. By default every peer is dialed at
+//     127.0.0.1:<base_port + peer>; a per-peer `hosts` list ("host" or
+//     "host:port", resolved with getaddrinfo) places peers on other
+//     machines, and providing one makes the local listener bind INADDR_ANY
+//     so those machines can dial back.
 //   * from_fds: adopt already-connected stream fds (socketpair() children in
 //     the multi-process tests). The adopted fds are owned and closed.
 #pragma once
@@ -38,6 +50,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "estelle/transport/buffer_chain.hpp"
 #include "estelle/transport/transport.hpp"
 
 namespace mcam::estelle {
@@ -46,6 +59,9 @@ class StreamSocketTransport final : public MailboxTransport {
  public:
   /// Outbound backlog bound per peer, in encoded bytes.
   static constexpr std::size_t kMaxOutboundBytes = 4u << 20;
+  /// Backlog at which send() flushes on its own instead of deferring to the
+  /// runner's round boundary — bounds kernel-buffer latecomers under burst.
+  static constexpr std::size_t kEagerFlushBytes = 256u << 10;
 
   struct PeerFd {
     int node = 0;
@@ -61,9 +77,12 @@ class StreamSocketTransport final : public MailboxTransport {
   unix_mesh(int node, int nodes, const std::string& dir,
             int connect_timeout_ms = 10000);
 
-  /// Full mesh over TCP loopback, port base_port + node id.
+  /// Full mesh over TCP. `hosts`, when non-empty, names every node's
+  /// address as "host" or "host:port" (hosts[i] for node i; port defaults
+  /// to base_port + i) — the loopback default with an empty list.
   [[nodiscard]] static common::Result<std::unique_ptr<StreamSocketTransport>>
   tcp_mesh(int node, int nodes, std::uint16_t base_port,
+           const std::vector<std::string>& hosts = {},
            int connect_timeout_ms = 10000);
 
   ~StreamSocketTransport() override;
@@ -71,7 +90,8 @@ class StreamSocketTransport final : public MailboxTransport {
   [[nodiscard]] const std::vector<int>& peers() const noexcept override {
     return peer_ids_;
   }
-  common::Status send(int peer, Frame f) override;
+  common::Status send(int peer, Frame& f) override;
+  void flush() override;
   RecvOutcome recv(int* from, Frame* out, int timeout_ms,
                    std::string* error) override;
 
@@ -80,23 +100,25 @@ class StreamSocketTransport final : public MailboxTransport {
     int node = 0;
     int fd = -1;
     FrameReassembler rx;
-    common::Bytes txq;      // encoded, not yet accepted by the socket
-    std::size_t txpos = 0;  // consumed prefix of txq (compacted lazily)
-    bool closed = false;    // outbound half dead; no further sends
-    bool rx_eof = false;    // inbound half exhausted (EOF / read error)
+    BufferChain txq;          // encoded, not yet accepted by the socket
+    common::Bytes encode_buf; // pooled per-peer frame-encode scratch
+    bool closed = false;      // outbound half dead; no further sends
+    bool rx_eof = false;      // inbound half exhausted (EOF / read error)
     bool close_reported = false;
     std::string close_reason;
   };
 
   explicit StreamSocketTransport(std::vector<PeerFd> peers);
 
-  /// Push txq bytes into the socket until EAGAIN/empty; marks dead conns.
+  /// Drain c's chain into the socket with sendmsg until EAGAIN/empty; marks
+  /// dead conns.
   void try_flush(Conn& c);
   [[nodiscard]] std::size_t tx_backlog(const Conn& c) const noexcept {
-    return c.txq.size() - c.txpos;
+    return c.txq.size();
   }
   Conn* conn_of(int node) noexcept;
 
+  SegmentPool pool_;  // declared before conns_: chains must die first
   std::vector<Conn> conns_;
   std::vector<int> peer_ids_;
   std::size_t rr_ = 0;  // round-robin start for fair frame extraction

@@ -36,7 +36,7 @@ class LoopbackHub::Endpoint final : public MailboxTransport {
     return peers_;
   }
 
-  Status send(int peer, Frame f) override {
+  Status send(int peer, Frame& f) override {
     std::unique_lock<std::mutex> lock(state_->mu);
     State::Link& l = link(peer, node_);
     if (!l.open)
@@ -46,6 +46,8 @@ class LoopbackHub::Endpoint final : public MailboxTransport {
     if (depth >= kQueueCap)
       return Error::make(kQueueFull, "loopback: queue to node " +
                                          std::to_string(peer) + " full");
+    if (f.type == FrameType::TransferBatch)
+      stats_.frames_batched += f.entries.size();
     l.q.push_back(std::move(f));  // zero-copy: the frame itself moves
     ++stats_.frames_sent;
     if (depth + 1 > stats_.send_queue_high_water)

@@ -5,11 +5,18 @@
 // the three FreeRunning synchronization primitives stay the only coupling
 // surface:
 //
-//   * send() is NONBLOCKING: the frame is queued (and as much as the medium
-//     accepts is pushed) and the call returns. A full bounded outbound queue
-//     returns kQueueFull — the runner's back-pressure park: it pumps recv()
-//     (keeping the peer draining) and retries, exactly how a free-running
-//     shard parks on a full firing log instead of blocking the world.
+//   * send() is NONBLOCKING: the frame is queued and the call returns. A
+//     full bounded outbound queue returns kQueueFull — the runner's
+//     back-pressure park: it pumps recv() (keeping the peer draining) and
+//     retries, exactly how a free-running shard parks on a full firing log
+//     instead of blocking the world. On failure the frame is always left
+//     intact, so a retry re-sends the same object without copying it.
+//   * flush() pushes every queued byte the medium will accept right now.
+//     send() batches: it may defer the medium push entirely (a wire
+//     transport encodes into its backlog and waits), so a producer that
+//     stops sending must flush() before it waits on the peer. recv() also
+//     flushes opportunistically, which keeps request/reply pumps live even
+//     without explicit flushes.
 //   * recv() pumps the medium for up to timeout_ms and returns at most one
 //     frame. kClosed reports a dead peer (closed/reset connection) exactly
 //     once per peer — the runner turns it into a structured RunReport error
@@ -61,9 +68,18 @@ class MailboxTransport {
   /// Peer node ids this endpoint can reach (excludes the own node).
   [[nodiscard]] virtual const std::vector<int>& peers() const noexcept = 0;
 
-  /// Queue `f` for `peer` and push what the medium accepts; never blocks.
-  /// Errors: kQueueFull (retry after pumping recv), kPeerClosed.
-  virtual common::Status send(int peer, Frame f) = 0;
+  /// Queue `f` for `peer`; never blocks. On success the transport may
+  /// consume the frame (in-process endpoints move it; wire endpoints encode
+  /// from it and leave it intact, so the caller can reuse its buffers). On
+  /// failure the frame is untouched — back-pressured sends retry with the
+  /// same object, no copy. Errors: kQueueFull (retry after pumping recv),
+  /// kPeerClosed.
+  virtual common::Status send(int peer, Frame& f) = 0;
+
+  /// Push every queued outbound byte the medium accepts right now. Called
+  /// by the runner at its natural boundaries (end of a round's sends, after
+  /// control frames) so one syscall can carry a whole round's backlog.
+  virtual void flush() {}
 
   /// Pump the medium for up to `timeout_ms` (0 = poll) and hand out at most
   /// one frame.

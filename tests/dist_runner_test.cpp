@@ -118,7 +118,8 @@ struct NodeOutcome {
 /// Run node `node` of a `nodes`-wide group over `transport` on the world of
 /// `seed`, recording the stamped trace and the locally-owned module lines.
 NodeOutcome run_generated_node(std::uint64_t seed, int node, int nodes,
-                               std::shared_ptr<MailboxTransport> transport) {
+                               std::shared_ptr<MailboxTransport> transport,
+                               bool batch_transfers = true) {
   specgen::GeneratedWorld g = specgen::generate(seed);
   NodeOutcome out;
   DistOptions opts;
@@ -126,6 +127,7 @@ NodeOutcome run_generated_node(std::uint64_t seed, int node, int nodes,
   opts.nodes = nodes;
   opts.transport = std::move(transport);
   opts.gate_timeout_ms = 20000;
+  opts.batch_transfers = batch_transfers;
   opts.trace_hook = [&out](std::uint64_t r, int s, Module& m,
                            const Transition& t, SimTime) {
     out.events.push_back({r, s, m.path() + "/" + t.name});
@@ -235,6 +237,49 @@ std::unique_ptr<Executor> make_pipe_executor(PipeWorld& world,
   cfg.backend_options = std::move(opts);
   return make_executor(world.spec, cfg);
 }
+
+/// kLanes independent producer->consumer lanes, every producer on node 0 and
+/// every consumer on node 1: each active round ships kLanes same-stamp
+/// transfers to the same peer — the shape transfer batching coalesces.
+struct FanWorld {
+  static constexpr int kLanes = 8;
+  Specification spec{"fan"};
+  std::shared_ptr<int> sent = std::make_shared<int>(0);
+  std::shared_ptr<int> got = std::make_shared<int>(0);
+
+  explicit FanWorld(int budget) {
+    auto& psys =
+        spec.root().create_child<Module>("p", Attribute::SystemProcess);
+    auto& csys =
+        spec.root().create_child<Module>("c", Attribute::SystemProcess);
+    for (int lane = 0; lane < kLanes; ++lane) {
+      auto& prod = psys.create_child<Module>("prod" + std::to_string(lane),
+                                             Attribute::Process);
+      auto& cons = csys.create_child<Module>("cons" + std::to_string(lane),
+                                             Attribute::Process);
+      connect(prod.ip("out"), cons.ip("in"));
+      InteractionPoint* out = &prod.ip("out");
+      prod.trans("send")
+          .cost(SimTime::from_us(3))
+          .provided([budget](Module& m, const Interaction*) {
+            return m.state() < budget;
+          })
+          .action([sent = sent, out](Module& m, const Interaction*) {
+            ++*sent;
+            out->output(Interaction(1, asn1::Value::integer(m.state())));
+            m.set_state(m.state() + 1);
+          });
+      cons.trans("recv")
+          .when(cons.ip("in"))
+          .cost(SimTime::from_us(2))
+          .action([got = got](Module& m, const Interaction*) {
+            ++*got;
+            m.set_state(m.state() + 1);
+          });
+    }
+    spec.initialize();
+  }
+};
 
 std::string make_temp_dir() {
   char tmpl[] = "/tmp/mcam_dist_XXXXXX";
@@ -368,6 +413,135 @@ TEST(DistRunner, TwoNodeUnixSocketDifferential) {
     if (HasFatalFailure()) return;
   }
   EXPECT_GE(swept, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Batched vs unbatched transfers: same merged trace, fewer frames
+
+TEST(DistRunner, BatchedAndUnbatchedTransfersMatchSequential) {
+  // The generated-spec sweep, run in BOTH transfer modes over BOTH in-process
+  // mesh kinds: coalescing a round's transfers into TransferBatch frames must
+  // not move a single event in the merged trace.
+  const int n = spec_count();
+  int swept = 0;
+  std::uint64_t batched_frames = 0, unbatched_frames = 0;
+  for (std::uint64_t seed = 1;
+       seed <= static_cast<std::uint64_t>(n) && swept < 4; ++seed) {
+    if (!eligible_for_two_nodes(seed)) continue;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const SeqBaseline seq = sequential_baseline(seed);
+    for (const bool batch : {true, false}) {
+      SCOPED_TRACE(batch ? "batched" : "unbatched");
+      {
+        SCOPED_TRACE("loopback");
+        LoopbackHub hub(2);
+        std::vector<std::shared_ptr<MailboxTransport>> transports;
+        for (int node = 0; node < 2; ++node)
+          transports.push_back(
+              std::shared_ptr<MailboxTransport>(hub.endpoint(node)));
+        std::vector<NodeOutcome> nodes(2);
+        std::vector<std::thread> threads;
+        for (int node = 0; node < 2; ++node)
+          threads.emplace_back([&, node] {
+            nodes[static_cast<std::size_t>(node)] = run_generated_node(
+                seed, node, 2, transports[static_cast<std::size_t>(node)],
+                batch);
+          });
+        for (std::thread& t : threads) t.join();
+        expect_matches_baseline(seq, nodes);
+        for (const NodeOutcome& node : nodes) {
+          (batch ? batched_frames : unbatched_frames) +=
+              node.report.transport.frames_sent;
+          if (!batch)
+            EXPECT_EQ(node.report.transport.frames_batched, 0u)
+                << "unbatched mode must not emit TransferBatch frames";
+        }
+      }
+      {
+        SCOPED_TRACE("unix socket");
+        const std::string dir = make_temp_dir();
+        ASSERT_FALSE(dir.empty());
+        std::vector<NodeOutcome> nodes(2);
+        std::vector<std::string> mesh_errors(2);
+        std::vector<std::thread> threads;
+        for (int node = 0; node < 2; ++node)
+          threads.emplace_back([&, node] {
+            auto mesh = StreamSocketTransport::unix_mesh(node, 2, dir);
+            if (!mesh.ok()) {
+              mesh_errors[static_cast<std::size_t>(node)] =
+                  mesh.error().message;
+              return;
+            }
+            nodes[static_cast<std::size_t>(node)] = run_generated_node(
+                seed, node, 2,
+                std::shared_ptr<MailboxTransport>(std::move(mesh.value())),
+                batch);
+          });
+        for (std::thread& t : threads) t.join();
+        std::filesystem::remove_all(dir);
+        ASSERT_TRUE(mesh_errors[0].empty()) << mesh_errors[0];
+        ASSERT_TRUE(mesh_errors[1].empty()) << mesh_errors[1];
+        expect_matches_baseline(seq, nodes);
+      }
+      if (HasFatalFailure()) return;
+    }
+    ++swept;
+  }
+  EXPECT_GE(swept, 1);
+  // Coalescing never sends MORE frames than one-frame-per-transfer.
+  EXPECT_LE(batched_frames, unbatched_frames);
+}
+
+TEST(DistRunner, BatchingCoalescesFanOutRounds) {
+  // Deterministic diversity check the generated sweep cannot guarantee:
+  // 8 same-round transfers to one peer become one TransferBatch, visibly
+  // shrinking the frame count without changing the delivered tokens.
+  constexpr int kBudget = 30;
+  struct PairOutcome {
+    RunReport r0, r1;
+    int got = 0;
+  };
+  auto run_pair = [&](bool batch) {
+    PairOutcome o;
+    LoopbackHub hub(2);
+    auto t0 = std::shared_ptr<MailboxTransport>(hub.endpoint(0));
+    auto t1 = std::shared_ptr<MailboxTransport>(hub.endpoint(1));
+    auto run_node = [&](int node, std::shared_ptr<MailboxTransport> t,
+                        RunReport* r, int* got) {
+      FanWorld world(kBudget);
+      DistOptions opts;
+      opts.node = node;
+      opts.nodes = 2;
+      opts.transport = std::move(t);
+      opts.batch_transfers = batch;
+      ExecutorConfig cfg;
+      cfg.kind = ExecutorKind::Distributed;
+      cfg.backend_options = std::move(opts);
+      auto executor = make_executor(world.spec, cfg);
+      *r = executor->run();
+      if (got != nullptr) *got = *world.got;
+    };
+    std::thread producer([&] { run_node(0, t0, &o.r0, nullptr); });
+    std::thread consumer([&] { run_node(1, t1, &o.r1, &o.got); });
+    producer.join();
+    consumer.join();
+    return o;
+  };
+  const PairOutcome batched = run_pair(true);
+  const PairOutcome unbatched = run_pair(false);
+  for (const PairOutcome* o : {&batched, &unbatched}) {
+    EXPECT_EQ(o->r0.reason, StopReason::Quiescent) << o->r0.error;
+    EXPECT_EQ(o->r1.reason, StopReason::Quiescent) << o->r1.error;
+    EXPECT_EQ(o->got, FanWorld::kLanes * kBudget);
+  }
+  EXPECT_EQ(batched.r0.fired + batched.r1.fired,
+            unbatched.r0.fired + unbatched.r1.fired);
+  // The producer's transfer traffic collapsed into batches...
+  EXPECT_GT(batched.r0.transport.frames_batched, 0u);
+  EXPECT_EQ(unbatched.r0.transport.frames_batched, 0u);
+  // ...so it sent fewer frames for the same tokens.
+  EXPECT_LT(batched.r0.transport.frames_sent,
+            unbatched.r0.transport.frames_sent);
 }
 
 // ---------------------------------------------------------------------------
@@ -702,6 +876,65 @@ TEST(DistRunner, TcpPipelineDeliversAndServicesNullRounds) {
   EXPECT_GT(r0.transport.null_rounds_serviced +
                 r1.transport.null_rounds_serviced,
             0u);
+}
+
+TEST(DistRunner, TcpMeshAcceptsExplicitHostList) {
+  // Satellite of the batching PR: a per-peer host list ("host" and
+  // "host:port" forms both resolved) replaces the loopback default, carried
+  // through DistOptions::peer_hosts. On one machine the list still names
+  // loopback — what the test pins is the resolution and dial path.
+  static constexpr int kBudget = 10;
+  static constexpr std::uint16_t kBasePort = 44217;
+  const std::vector<std::string> hosts = {
+      "localhost", "127.0.0.1:" + std::to_string(kBasePort + 1)};
+
+  // A wrong-sized list is a structured construction error, not a hang.
+  const auto bad = StreamSocketTransport::tcp_mesh(0, 2, kBasePort,
+                                                   {"127.0.0.1"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find("host"), std::string::npos)
+      << bad.error().message;
+
+  RunReport r0, r1;
+  int got = -1;
+  std::string mesh_error;
+  std::thread producer([&] {
+    PipeWorld world(kBudget);
+    auto mesh = StreamSocketTransport::tcp_mesh(0, 2, kBasePort, hosts);
+    if (!mesh.ok()) {
+      mesh_error = mesh.error().message;
+      return;
+    }
+    DistOptions opts;
+    opts.node = 0;
+    opts.nodes = 2;
+    opts.peer_hosts = hosts;
+    opts.transport =
+        std::shared_ptr<MailboxTransport>(std::move(mesh.value()));
+    r0 = make_pipe_executor(world, std::move(opts))->run();
+  });
+  std::thread consumer([&] {
+    PipeWorld world(kBudget);
+    auto mesh = StreamSocketTransport::tcp_mesh(1, 2, kBasePort, hosts);
+    if (!mesh.ok()) {
+      mesh_error = mesh.error().message;
+      return;
+    }
+    DistOptions opts;
+    opts.node = 1;
+    opts.nodes = 2;
+    opts.peer_hosts = hosts;
+    opts.transport =
+        std::shared_ptr<MailboxTransport>(std::move(mesh.value()));
+    r1 = make_pipe_executor(world, std::move(opts))->run();
+    got = *world.got;
+  });
+  producer.join();
+  consumer.join();
+  ASSERT_TRUE(mesh_error.empty()) << mesh_error;
+  EXPECT_EQ(r0.reason, StopReason::Quiescent) << r0.error;
+  EXPECT_EQ(r1.reason, StopReason::Quiescent) << r1.error;
+  EXPECT_EQ(got, kBudget) << "tokens lost on the host-list mesh";
 }
 
 }  // namespace

@@ -105,6 +105,43 @@ std::vector<Frame> catalogue() {
   bye.node = 1;
   all.push_back(bye);
 
+  Frame empty_batch;  // legal, if pointless: a batch with no entries
+  empty_batch.type = FrameType::TransferBatch;
+  empty_batch.round = 7;
+  all.push_back(empty_batch);
+
+  Frame one_batch;
+  one_batch.type = FrameType::TransferBatch;
+  one_batch.round = std::numeric_limits<std::uint64_t>::max();
+  {
+    TransferEntry e;
+    e.channel = 3;
+    e.dir = 1;
+    e.sent_at_ns = -1;
+    e.msg.kind = 9;
+    e.msg.payload = Bytes{0x80};
+    one_batch.entries.push_back(std::move(e));
+  }
+  all.push_back(one_batch);
+
+  Frame fat_batch;  // a round's worth of mixed entries, extremes included
+  fat_batch.type = FrameType::TransferBatch;
+  fat_batch.round = 123456;
+  for (int i = 0; i < 17; ++i) {
+    TransferEntry e;
+    e.channel = i == 0 ? 0xffffffffu : static_cast<std::uint32_t>(i);
+    e.dir = static_cast<std::uint8_t>(i & 1);
+    e.sent_at_ns = i == 1 ? std::numeric_limits<std::int64_t>::min() : i * 1000;
+    e.msg.kind = i;
+    e.msg.payload =
+        Bytes(static_cast<std::size_t>(i % 5), static_cast<std::uint8_t>(255 - i));
+    if (i % 3 == 0)
+      e.msg.value = asn1::Value::sequence(
+          {asn1::Value::integer(i), asn1::Value::boolean(i % 2 == 0)});
+    fat_batch.entries.push_back(std::move(e));
+  }
+  all.push_back(fat_batch);
+
   return all;
 }
 
@@ -131,6 +168,18 @@ void expect_equal(const Frame& got, const Frame& want, const char* where) {
   EXPECT_EQ(got.quiescent, want.quiescent);
   EXPECT_EQ(got.sent, want.sent);
   EXPECT_EQ(got.recv, want.recv);
+  EXPECT_EQ(got.rejected_entries, want.rejected_entries);
+  ASSERT_EQ(got.entries.size(), want.entries.size());
+  for (std::size_t i = 0; i < want.entries.size(); ++i) {
+    SCOPED_TRACE("entry " + std::to_string(i));
+    EXPECT_EQ(got.entries[i].channel, want.entries[i].channel);
+    EXPECT_EQ(got.entries[i].dir, want.entries[i].dir);
+    EXPECT_EQ(got.entries[i].sent_at_ns, want.entries[i].sent_at_ns);
+    EXPECT_EQ(got.entries[i].msg.kind, want.entries[i].msg.kind);
+    EXPECT_EQ(got.entries[i].msg.payload, want.entries[i].msg.payload);
+    EXPECT_TRUE(got.entries[i].msg.value == want.entries[i].msg.value)
+        << "entry ASN.1 value diverged";
+  }
 }
 
 TEST(TransportFrame, EveryCatalogueFrameRoundTrips) {
@@ -271,21 +320,143 @@ TEST(TransportFrame, WrongEnvelopeAndBadFieldsAreDecodeErrors) {
   EXPECT_FALSE(decode_frame(ByteSpan{body.data(), body.size()}).ok());
 }
 
+/// The documented abstract syntax of the two hot-path frames, built as a
+/// plain Value tree. The direct writer in encode_frame_to must emit exactly
+/// these octets — minimal INTEGERs, definite lengths — or the decoder could
+/// see different bytes depending on which path encoded.
+asn1::Value hot_path_tree(const Frame& f) {
+  using asn1::Value;
+  auto u64v = [](std::uint64_t v) {
+    return Value::integer(static_cast<std::int64_t>(v));
+  };
+  if (f.type == FrameType::Transfer) {
+    std::vector<Value> body = {
+        u64v(f.channel),     Value::integer(f.dir),
+        u64v(f.round),       Value::integer(f.sent_at_ns),
+        Value::integer(f.msg.kind), Value::octet_string(f.msg.payload)};
+    if (!(f.msg.value == Value())) body.push_back(Value::context(0, f.msg.value));
+    return Value::application(static_cast<std::uint32_t>(f.type),
+                              std::move(body));
+  }
+  std::vector<Value> entries;
+  for (const TransferEntry& e : f.entries) {
+    std::vector<Value> ev = {u64v(e.channel), Value::integer(e.dir),
+                             Value::integer(e.sent_at_ns),
+                             Value::integer(e.msg.kind),
+                             Value::octet_string(e.msg.payload)};
+    if (!(e.msg.value == Value())) ev.push_back(Value::context(0, e.msg.value));
+    entries.push_back(Value::sequence(std::move(ev)));
+  }
+  return Value::application(
+      static_cast<std::uint32_t>(FrameType::TransferBatch),
+      {u64v(f.round), Value::sequence(std::move(entries))});
+}
+
+TEST(TransportFrame, DirectWriterMatchesTheValueTreeEncoder) {
+  for (const Frame& f : catalogue()) {
+    if (f.type != FrameType::Transfer && f.type != FrameType::TransferBatch)
+      continue;
+    SCOPED_TRACE(frame_type_name(f.type));
+    const Bytes wire = encode_frame(f);
+    Bytes ref;
+    asn1::encode_to(hot_path_tree(f), ref);
+    ASSERT_EQ(wire.size(), ref.size() + 4);
+    EXPECT_TRUE(std::equal(wire.begin() + 4, wire.end(), ref.begin()))
+        << "direct writer diverged from the tree encoder";
+  }
+}
+
+TEST(TransportFrame, CorruptBatchEntriesAreSkippedNotFatal) {
+  // The length prefix already guaranteed framing, so one undecodable entry
+  // degrades to a per-entry rejection: siblings survive, the counter says
+  // how many were dropped, and the stream is NOT desynchronized.
+  using asn1::Value;
+  auto good = [](int i) {
+    return Value::sequence({Value::integer(i), Value::integer(0),
+                            Value::integer(100 + i), Value::integer(1),
+                            Value::octet_string({0x01})});
+  };
+  std::vector<Value> entries = {
+      good(0),
+      Value::sequence({Value::integer(1)}),  // missing fields
+      good(1),
+      Value::sequence({Value::integer(7), Value::integer(2),  // dir not 0/1
+                       Value::integer(0), Value::integer(0),
+                       Value::octet_string({})}),
+      Value::integer(9),  // not a SEQUENCE at all
+      good(2)};
+  Bytes body;
+  asn1::encode_to(
+      Value::application(static_cast<std::uint32_t>(FrameType::TransferBatch),
+                         {Value::integer(5), Value::sequence(std::move(entries))}),
+      body);
+  const auto got = decode_frame(ByteSpan{body.data(), body.size()});
+  ASSERT_TRUE(got.ok()) << got.error().message;
+  EXPECT_EQ(got.value().round, 5u);
+  EXPECT_EQ(got.value().rejected_entries, 3u);
+  ASSERT_EQ(got.value().entries.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i)
+    EXPECT_EQ(got.value().entries[i].channel, i);
+}
+
+TEST(TransportFrame, ReassemblerReusesItsBufferAcrossBatchFrames) {
+  // Satellite guarantee: batch-sized frames arriving in read()-sized chunks
+  // must stop regrowing the receive buffer once it has warmed up.
+  Frame f;
+  f.type = FrameType::TransferBatch;
+  f.round = 1;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    TransferEntry e;
+    e.channel = i;
+    e.dir = 0;
+    e.sent_at_ns = static_cast<std::int64_t>(i);
+    e.msg.kind = static_cast<int>(i);
+    e.msg.payload = Bytes(64, 0xab);
+    f.entries.push_back(std::move(e));
+  }
+  Bytes wire;
+  encode_frame_to(f, wire);
+  ASSERT_GT(wire.size(), 4096u);  // big enough to exercise compaction
+  FrameReassembler rx;
+  Frame out;
+  std::string err;
+  std::uint64_t warmed = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    std::size_t off = 0;
+    while (off < wire.size()) {
+      const std::size_t n = std::min<std::size_t>(1024, wire.size() - off);
+      rx.feed(ByteSpan{wire.data() + off, n});
+      off += n;
+      while (rx.next(&out, &err) == FrameReassembler::Next::kFrame) {
+      }
+    }
+    if (rep == 19) warmed = rx.regrowths();
+  }
+  EXPECT_EQ(rx.regrowths(), warmed)
+      << "receive buffer kept regrowing in the steady state";
+  EXPECT_EQ(rx.pending(), 0u);
+}
+
 TEST(TransportFrame, BitFlipFuzzNeverCrashesOrMisframes) {
   // Flip every single byte of a valid frame to 64 random values: decode
   // must either fail cleanly or produce *some* frame — never crash. (The
-  // length prefix is kept intact so the flip lands in the BER body.)
-  const Bytes wire = encode_frame(catalogue()[2]);
+  // length prefix is kept intact so the flip lands in the BER body.) The
+  // fat Transfer and the fat TransferBatch are the two frames with real
+  // structure to corrupt.
+  const std::vector<Frame> all = catalogue();
   common::Rng rng(0x7ea7);
   Frame out;
   std::string err;
-  for (std::size_t i = 4; i < wire.size(); ++i) {
-    for (int rep = 0; rep < 64; ++rep) {
-      Bytes mutated = wire;
-      mutated[i] = static_cast<std::uint8_t>(rng.below(256));
-      FrameReassembler rx;
-      rx.feed(ByteSpan{mutated.data(), mutated.size()});
-      (void)rx.next(&out, &err);  // any outcome, no crash
+  for (const Frame* victim : {&all[2], &all.back()}) {
+    const Bytes wire = encode_frame(*victim);
+    for (std::size_t i = 4; i < wire.size(); ++i) {
+      for (int rep = 0; rep < 64; ++rep) {
+        Bytes mutated = wire;
+        mutated[i] = static_cast<std::uint8_t>(rng.below(256));
+        FrameReassembler rx;
+        rx.feed(ByteSpan{mutated.data(), mutated.size()});
+        (void)rx.next(&out, &err);  // any outcome, no crash
+      }
     }
   }
 }
