@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acse_test.dir/tests/acse_test.cpp.o"
+  "CMakeFiles/acse_test.dir/tests/acse_test.cpp.o.d"
+  "acse_test"
+  "acse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

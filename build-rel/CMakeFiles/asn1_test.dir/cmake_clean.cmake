@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asn1_test.dir/tests/asn1_test.cpp.o"
+  "CMakeFiles/asn1_test.dir/tests/asn1_test.cpp.o.d"
+  "asn1_test"
+  "asn1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asn1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arq_ablation.dir/bench/bench_arq_ablation.cpp.o"
+  "CMakeFiles/bench_arq_ablation.dir/bench/bench_arq_ablation.cpp.o.d"
+  "bench_arq_ablation"
+  "bench_arq_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arq_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

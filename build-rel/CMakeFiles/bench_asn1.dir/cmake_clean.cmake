@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_asn1.dir/bench/bench_asn1.cpp.o"
+  "CMakeFiles/bench_asn1.dir/bench/bench_asn1.cpp.o.d"
+  "bench_asn1"
+  "bench_asn1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asn1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_configuration.dir/bench/bench_fig2_configuration.cpp.o"
+  "CMakeFiles/bench_fig2_configuration.dir/bench/bench_fig2_configuration.cpp.o.d"
+  "bench_fig2_configuration"
+  "bench_fig2_configuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

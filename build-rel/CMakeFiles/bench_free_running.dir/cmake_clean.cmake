@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_free_running.dir/bench/bench_free_running.cpp.o"
+  "CMakeFiles/bench_free_running.dir/bench/bench_free_running.cpp.o.d"
+  "bench_free_running"
+  "bench_free_running.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_free_running.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

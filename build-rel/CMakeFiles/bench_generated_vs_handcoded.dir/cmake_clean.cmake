@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generated_vs_handcoded.dir/bench/bench_generated_vs_handcoded.cpp.o"
+  "CMakeFiles/bench_generated_vs_handcoded.dir/bench/bench_generated_vs_handcoded.cpp.o.d"
+  "bench_generated_vs_handcoded"
+  "bench_generated_vs_handcoded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generated_vs_handcoded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_generated_vs_handcoded.
+# This may be replaced when dependencies are built.

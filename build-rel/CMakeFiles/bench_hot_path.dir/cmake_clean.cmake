@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hot_path.dir/bench/bench_hot_path.cpp.o"
+  "CMakeFiles/bench_hot_path.dir/bench/bench_hot_path.cpp.o.d"
+  "bench_hot_path"
+  "bench_hot_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hot_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_hot_path.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seq_vs_parallel.dir/bench/bench_seq_vs_parallel.cpp.o"
+  "CMakeFiles/bench_seq_vs_parallel.dir/bench/bench_seq_vs_parallel.cpp.o.d"
+  "bench_seq_vs_parallel"
+  "bench_seq_vs_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seq_vs_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

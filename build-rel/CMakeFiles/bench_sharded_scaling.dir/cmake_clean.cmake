@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sharded_scaling.dir/bench/bench_sharded_scaling.cpp.o"
+  "CMakeFiles/bench_sharded_scaling.dir/bench/bench_sharded_scaling.cpp.o.d"
+  "bench_sharded_scaling"
+  "bench_sharded_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sharded_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_requirements.dir/bench/bench_table1_requirements.cpp.o"
+  "CMakeFiles/bench_table1_requirements.dir/bench/bench_table1_requirements.cpp.o.d"
+  "bench_table1_requirements"
+  "bench_table1_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transitions.dir/bench/bench_transitions.cpp.o"
+  "CMakeFiles/bench_transitions.dir/bench/bench_transitions.cpp.o.d"
+  "bench_transitions"
+  "bench_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_chain_test.dir/tests/buffer_chain_test.cpp.o"
+  "CMakeFiles/buffer_chain_test.dir/tests/buffer_chain_test.cpp.o.d"
+  "buffer_chain_test"
+  "buffer_chain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colormap_test.dir/tests/colormap_test.cpp.o"
+  "CMakeFiles/colormap_test.dir/tests/colormap_test.cpp.o.d"
+  "colormap_test"
+  "colormap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colormap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

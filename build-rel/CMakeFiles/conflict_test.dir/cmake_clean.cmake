@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_test.dir/tests/conflict_test.cpp.o"
+  "CMakeFiles/conflict_test.dir/tests/conflict_test.cpp.o.d"
+  "conflict_test"
+  "conflict_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_test.dir/tests/directory_test.cpp.o"
+  "CMakeFiles/directory_test.dir/tests/directory_test.cpp.o.d"
+  "directory_test"
+  "directory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

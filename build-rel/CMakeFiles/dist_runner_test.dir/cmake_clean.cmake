@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_runner_test.dir/tests/dist_runner_test.cpp.o"
+  "CMakeFiles/dist_runner_test.dir/tests/dist_runner_test.cpp.o.d"
+  "dist_runner_test"
+  "dist_runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

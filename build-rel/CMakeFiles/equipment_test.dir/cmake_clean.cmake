@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equipment_test.dir/tests/equipment_test.cpp.o"
+  "CMakeFiles/equipment_test.dir/tests/equipment_test.cpp.o.d"
+  "equipment_test"
+  "equipment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equipment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

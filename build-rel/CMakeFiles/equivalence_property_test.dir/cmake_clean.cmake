@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalence_property_test.dir/tests/equivalence_property_test.cpp.o"
+  "CMakeFiles/equivalence_property_test.dir/tests/equivalence_property_test.cpp.o.d"
+  "equivalence_property_test"
+  "equivalence_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalence_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estelle_test.dir/tests/estelle_test.cpp.o"
+  "CMakeFiles/estelle_test.dir/tests/estelle_test.cpp.o.d"
+  "estelle_test"
+  "estelle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estelle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dist_shards.dir/examples/dist_shards.cpp.o"
+  "CMakeFiles/example_dist_shards.dir/examples/dist_shards.cpp.o.d"
+  "example_dist_shards"
+  "example_dist_shards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dist_shards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_functional_model.dir/examples/functional_model.cpp.o"
+  "CMakeFiles/example_functional_model.dir/examples/functional_model.cpp.o.d"
+  "example_functional_model"
+  "example_functional_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_functional_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_functional_model.
+# This may be replaced when dependencies are built.

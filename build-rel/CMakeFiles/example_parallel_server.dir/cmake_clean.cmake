@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parallel_server.dir/examples/parallel_server.cpp.o"
+  "CMakeFiles/example_parallel_server.dir/examples/parallel_server.cpp.o.d"
+  "example_parallel_server"
+  "example_parallel_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parallel_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_remote_equipment.dir/examples/remote_equipment.cpp.o"
+  "CMakeFiles/example_remote_equipment.dir/examples/remote_equipment.cpp.o.d"
+  "example_remote_equipment"
+  "example_remote_equipment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_remote_equipment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_remote_equipment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_video_on_demand.dir/examples/video_on_demand.cpp.o"
+  "CMakeFiles/example_video_on_demand.dir/examples/video_on_demand.cpp.o.d"
+  "example_video_on_demand"
+  "example_video_on_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_video_on_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

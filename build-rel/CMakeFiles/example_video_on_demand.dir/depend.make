@@ -1,0 +1,2 @@
+# Empty dependencies file for example_video_on_demand.
+# This may be replaced when dependencies are built.

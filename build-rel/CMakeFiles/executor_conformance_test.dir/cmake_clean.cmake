@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_conformance_test.dir/tests/executor_conformance_test.cpp.o"
+  "CMakeFiles/executor_conformance_test.dir/tests/executor_conformance_test.cpp.o.d"
+  "executor_conformance_test"
+  "executor_conformance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/free_running_test.dir/tests/free_running_test.cpp.o"
+  "CMakeFiles/free_running_test.dir/tests/free_running_test.cpp.o.d"
+  "free_running_test"
+  "free_running_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/free_running_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asn1/ber.cpp" "CMakeFiles/mcam.dir/src/asn1/ber.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/asn1/ber.cpp.o.d"
+  "/root/repo/src/asn1/parallel.cpp" "CMakeFiles/mcam.dir/src/asn1/parallel.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/asn1/parallel.cpp.o.d"
+  "/root/repo/src/asn1/value.cpp" "CMakeFiles/mcam.dir/src/asn1/value.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/asn1/value.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "CMakeFiles/mcam.dir/src/common/bytes.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/common/bytes.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "CMakeFiles/mcam.dir/src/common/log.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/common/log.cpp.o.d"
+  "/root/repo/src/directory/directory.cpp" "CMakeFiles/mcam.dir/src/directory/directory.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/directory/directory.cpp.o.d"
+  "/root/repo/src/equipment/equipment.cpp" "CMakeFiles/mcam.dir/src/equipment/equipment.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/equipment/equipment.cpp.o.d"
+  "/root/repo/src/estelle/codegen.cpp" "CMakeFiles/mcam.dir/src/estelle/codegen.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/codegen.cpp.o.d"
+  "/root/repo/src/estelle/conflict.cpp" "CMakeFiles/mcam.dir/src/estelle/conflict.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/conflict.cpp.o.d"
+  "/root/repo/src/estelle/executor.cpp" "CMakeFiles/mcam.dir/src/estelle/executor.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/executor.cpp.o.d"
+  "/root/repo/src/estelle/free_executor.cpp" "CMakeFiles/mcam.dir/src/estelle/free_executor.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/free_executor.cpp.o.d"
+  "/root/repo/src/estelle/interaction.cpp" "CMakeFiles/mcam.dir/src/estelle/interaction.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/interaction.cpp.o.d"
+  "/root/repo/src/estelle/metrics.cpp" "CMakeFiles/mcam.dir/src/estelle/metrics.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/metrics.cpp.o.d"
+  "/root/repo/src/estelle/module.cpp" "CMakeFiles/mcam.dir/src/estelle/module.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/module.cpp.o.d"
+  "/root/repo/src/estelle/ready_set.cpp" "CMakeFiles/mcam.dir/src/estelle/ready_set.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/ready_set.cpp.o.d"
+  "/root/repo/src/estelle/sched.cpp" "CMakeFiles/mcam.dir/src/estelle/sched.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/sched.cpp.o.d"
+  "/root/repo/src/estelle/shard_executor.cpp" "CMakeFiles/mcam.dir/src/estelle/shard_executor.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/shard_executor.cpp.o.d"
+  "/root/repo/src/estelle/trace.cpp" "CMakeFiles/mcam.dir/src/estelle/trace.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/trace.cpp.o.d"
+  "/root/repo/src/estelle/transport/buffer_chain.cpp" "CMakeFiles/mcam.dir/src/estelle/transport/buffer_chain.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/transport/buffer_chain.cpp.o.d"
+  "/root/repo/src/estelle/transport/dist_runner.cpp" "CMakeFiles/mcam.dir/src/estelle/transport/dist_runner.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/transport/dist_runner.cpp.o.d"
+  "/root/repo/src/estelle/transport/frame.cpp" "CMakeFiles/mcam.dir/src/estelle/transport/frame.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/transport/frame.cpp.o.d"
+  "/root/repo/src/estelle/transport/socket_transport.cpp" "CMakeFiles/mcam.dir/src/estelle/transport/socket_transport.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/transport/socket_transport.cpp.o.d"
+  "/root/repo/src/estelle/transport/transport.cpp" "CMakeFiles/mcam.dir/src/estelle/transport/transport.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/transport/transport.cpp.o.d"
+  "/root/repo/src/estelle/worker_pool.cpp" "CMakeFiles/mcam.dir/src/estelle/worker_pool.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/estelle/worker_pool.cpp.o.d"
+  "/root/repo/src/mcam/client.cpp" "CMakeFiles/mcam.dir/src/mcam/client.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/mcam/client.cpp.o.d"
+  "/root/repo/src/mcam/mca.cpp" "CMakeFiles/mcam.dir/src/mcam/mca.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/mcam/mca.cpp.o.d"
+  "/root/repo/src/mcam/pdus.cpp" "CMakeFiles/mcam.dir/src/mcam/pdus.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/mcam/pdus.cpp.o.d"
+  "/root/repo/src/mcam/server_core.cpp" "CMakeFiles/mcam.dir/src/mcam/server_core.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/mcam/server_core.cpp.o.d"
+  "/root/repo/src/mcam/testbed.cpp" "CMakeFiles/mcam.dir/src/mcam/testbed.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/mcam/testbed.cpp.o.d"
+  "/root/repo/src/mtp/colormap.cpp" "CMakeFiles/mcam.dir/src/mtp/colormap.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/mtp/colormap.cpp.o.d"
+  "/root/repo/src/mtp/mtp.cpp" "CMakeFiles/mcam.dir/src/mtp/mtp.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/mtp/mtp.cpp.o.d"
+  "/root/repo/src/mtp/sps.cpp" "CMakeFiles/mcam.dir/src/mtp/sps.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/mtp/sps.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "CMakeFiles/mcam.dir/src/net/network.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/net/network.cpp.o.d"
+  "/root/repo/src/osi/acse.cpp" "CMakeFiles/mcam.dir/src/osi/acse.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/osi/acse.cpp.o.d"
+  "/root/repo/src/osi/isode.cpp" "CMakeFiles/mcam.dir/src/osi/isode.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/osi/isode.cpp.o.d"
+  "/root/repo/src/osi/presentation.cpp" "CMakeFiles/mcam.dir/src/osi/presentation.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/osi/presentation.cpp.o.d"
+  "/root/repo/src/osi/session.cpp" "CMakeFiles/mcam.dir/src/osi/session.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/osi/session.cpp.o.d"
+  "/root/repo/src/osi/stack.cpp" "CMakeFiles/mcam.dir/src/osi/stack.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/osi/stack.cpp.o.d"
+  "/root/repo/src/osi/transport.cpp" "CMakeFiles/mcam.dir/src/osi/transport.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/osi/transport.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "CMakeFiles/mcam.dir/src/sim/engine.cpp.o" "gcc" "CMakeFiles/mcam.dir/src/sim/engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

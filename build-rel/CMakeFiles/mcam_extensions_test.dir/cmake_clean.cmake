@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcam_extensions_test.dir/tests/mcam_extensions_test.cpp.o"
+  "CMakeFiles/mcam_extensions_test.dir/tests/mcam_extensions_test.cpp.o.d"
+  "mcam_extensions_test"
+  "mcam_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcam_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcam_integration_test.dir/tests/mcam_integration_test.cpp.o"
+  "CMakeFiles/mcam_integration_test.dir/tests/mcam_integration_test.cpp.o.d"
+  "mcam_integration_test"
+  "mcam_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcam_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcam_pdus_test.dir/tests/mcam_pdus_test.cpp.o"
+  "CMakeFiles/mcam_pdus_test.dir/tests/mcam_pdus_test.cpp.o.d"
+  "mcam_pdus_test"
+  "mcam_pdus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcam_pdus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_test.dir/tests/mtp_test.cpp.o"
+  "CMakeFiles/mtp_test.dir/tests/mtp_test.cpp.o.d"
+  "mtp_test"
+  "mtp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

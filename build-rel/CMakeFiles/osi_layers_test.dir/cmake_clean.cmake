@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osi_layers_test.dir/tests/osi_layers_test.cpp.o"
+  "CMakeFiles/osi_layers_test.dir/tests/osi_layers_test.cpp.o.d"
+  "osi_layers_test"
+  "osi_layers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osi_layers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

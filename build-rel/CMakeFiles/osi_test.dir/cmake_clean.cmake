@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osi_test.dir/tests/osi_test.cpp.o"
+  "CMakeFiles/osi_test.dir/tests/osi_test.cpp.o.d"
+  "osi_test"
+  "osi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_spec_differential_test.dir/tests/random_spec_differential_test.cpp.o"
+  "CMakeFiles/random_spec_differential_test.dir/tests/random_spec_differential_test.cpp.o.d"
+  "random_spec_differential_test"
+  "random_spec_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_spec_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ready_set_differential_test.dir/tests/ready_set_differential_test.cpp.o"
+  "CMakeFiles/ready_set_differential_test.dir/tests/ready_set_differential_test.cpp.o.d"
+  "ready_set_differential_test"
+  "ready_set_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ready_set_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ready_set_differential_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_stress_test.dir/tests/sched_stress_test.cpp.o"
+  "CMakeFiles/sched_stress_test.dir/tests/sched_stress_test.cpp.o.d"
+  "sched_stress_test"
+  "sched_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

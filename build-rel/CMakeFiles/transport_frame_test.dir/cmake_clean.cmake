@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_frame_test.dir/tests/transport_frame_test.cpp.o"
+  "CMakeFiles/transport_frame_test.dir/tests/transport_frame_test.cpp.o.d"
+  "transport_frame_test"
+  "transport_frame_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_frame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worker_pool_test.dir/tests/worker_pool_test.cpp.o"
+  "CMakeFiles/worker_pool_test.dir/tests/worker_pool_test.cpp.o.d"
+  "worker_pool_test"
+  "worker_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worker_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
