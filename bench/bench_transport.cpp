@@ -19,9 +19,11 @@
 //
 // Gates (exit status, like bench_free_running): single-node neutrality as
 // before, plus batched >= 2x unbatched rounds/sec over Unix sockets,
-// syscalls/round reduced >= 4x by batching, and a warmed send()+flush() of a
+// syscalls/round reduced >= 4x by batching, a warmed send()+flush() of a
 // 16-entry TransferBatch performing ZERO heap allocations (global operator
-// new is instrumented below).
+// new is instrumented below), and the PR 9 session layer (sequencing +
+// replay-ring retention) costing <= 10% rounds/sec on a fault-free volley
+// versus the same run with reconnect_max_attempts = 0.
 //
 // Emits bench_transport.json (argv[1] overrides) for the CI artifact trend.
 #include <sys/socket.h>
@@ -172,6 +174,8 @@ struct Measurement {
   unsigned long long fired = 0;
   unsigned long long frames_batched = 0;
   unsigned long long steady_alloc_rounds = 0;
+  unsigned long long reconnects = 0;
+  unsigned long long frames_replayed = 0;
 };
 
 double wall_since(std::chrono::steady_clock::time_point start) {
@@ -203,10 +207,13 @@ Measurement run_single(int entities, int active, std::uint64_t rounds,
 }
 
 /// Two nodes over `make_transport(node)`, volleying for `rounds` rounds.
+/// `tweak`, when set, adjusts each node's DistOptions before launch (the
+/// session-overhead gate toggles the reconnect/replay layer with it).
 Measurement run_pair(
     int lanes, std::uint64_t rounds, bool batch,
     const std::function<std::shared_ptr<MailboxTransport>(int)>&
-        make_transport) {
+        make_transport,
+    const std::function<void(DistOptions&)>& tweak = {}) {
   std::vector<RunReport> reports(2);
   std::vector<std::string> errors(2);
   const auto start = std::chrono::steady_clock::now();
@@ -224,6 +231,7 @@ Measurement run_pair(
       opts.nodes = 2;
       opts.transport = std::move(transport);
       opts.batch_transfers = batch;
+      if (tweak) tweak(opts);
       ExecutorConfig cfg;
       cfg.kind = ExecutorKind::Distributed;
       cfg.backend_options = opts;
@@ -248,6 +256,8 @@ Measurement run_pair(
     bytes += r.transport.bytes_sent;
     syscalls += r.transport.syscalls;
     m.frames_batched += r.transport.frames_batched;
+    m.reconnects += r.transport.reconnects;
+    m.frames_replayed += r.transport.frames_replayed;
     m.fired += r.fired;
   }
   const double secs = m.wall_ms / 1e3;
@@ -384,18 +394,26 @@ int main(int argc, char** argv) {
                           hub->endpoint(node));
                     });
                   })});
+  Measurement session_gate_on;
+  Measurement session_off;
   {
     const std::string dir = "/tmp/mcam_bench_transport";
-    const auto unix_pair = [&](int lanes, bool batch) {
+    const auto unix_pair = [&](int lanes, bool batch,
+                               const std::function<void(DistOptions&)>& tweak =
+                                   {}) {
       return best_of(3, [&] {
         std::filesystem::remove_all(dir);
         std::filesystem::create_directories(dir);
-        return run_pair(lanes, kPairRounds, batch, [&dir](int node) {
-          auto mesh = estelle::StreamSocketTransport::unix_mesh(node, 2, dir);
-          return mesh.ok() ? std::shared_ptr<MailboxTransport>(
-                                 std::move(mesh.value()))
-                           : nullptr;
-        });
+        return run_pair(
+            lanes, kPairRounds, batch,
+            [&dir](int node) {
+              auto mesh =
+                  estelle::StreamSocketTransport::unix_mesh(node, 2, dir);
+              return mesh.ok() ? std::shared_ptr<MailboxTransport>(
+                                     std::move(mesh.value()))
+                               : nullptr;
+            },
+            tweak);
       });
     };
     rows.push_back({"unix batched", kLanes, unix_pair(kLanes, true)});
@@ -406,6 +424,16 @@ int main(int argc, char** argv) {
     rows.push_back({"unix batched", kHeavyLanes, unix_pair(kHeavyLanes, true)});
     rows.push_back(
         {"unix unbatched", kHeavyLanes, unix_pair(kHeavyLanes, false)});
+    // Session-overhead gate: the same fault-free batched volley with the
+    // reconnect/replay layer on (DistOptions default) and off, measured
+    // back to back so both see identical warm state — sequencing + ring
+    // retention is exactly the delta.
+    session_gate_on = unix_pair(kLanes, true);
+    session_off = unix_pair(kLanes, true, [](DistOptions& o) {
+      o.reconnect_max_attempts = 0;
+    });
+    rows.push_back({"unix session", kLanes, session_gate_on});
+    rows.push_back({"unix no-session", kLanes, session_off});
     std::filesystem::remove_all(dir);
   }
   rows.push_back({"tcp", kLanes, best_of(3, [&] {
@@ -453,6 +481,18 @@ int main(int argc, char** argv) {
                                  : 0;
   const bool meets_speedup = speedup >= 2.0;
   const bool meets_syscalls = syscall_cut >= 4.0;
+  // Session overhead: the reconnect/replay layer (per-frame sequencing, ring
+  // retention, ack pruning) on a fault-free volley must stay within 10% of
+  // the session-off rounds/sec — and a fault-free run must never reconnect
+  // or replay anything.
+  const Measurement& session_on = session_gate_on;
+  const double session_ratio = session_off.rounds_per_sec > 0
+                                   ? session_on.rounds_per_sec /
+                                         session_off.rounds_per_sec
+                                   : 0;
+  const bool meets_session = session_ratio >= 0.9 &&
+                             session_on.reconnects == 0 &&
+                             session_on.frames_replayed == 0;
 
   const SendAllocProbe probe = probe_send_allocations();
   const bool meets_send_alloc = probe.ok && probe.allocs == 0;
@@ -473,6 +513,11 @@ int main(int argc, char** argv) {
       "acceptance: warmed 16-entry batch send()+flush() %s zero-alloc "
       "(%llu allocations / %llu sends)\n",
       meets_send_alloc ? "meets" : "MISSES", probe.allocs, probe.iterations);
+  std::printf(
+      "acceptance: session layer %s >= 0.9x no-session rounds/sec on the "
+      "fault-free volley (%.2fx; reconnects=%llu replayed=%llu)\n",
+      meets_session ? "meets" : "MISSES", session_ratio, session_on.reconnects,
+      session_on.frames_replayed);
 
   const char* json_path = argc > 1 ? argv[1] : "bench_transport.json";
   if (std::FILE* f = std::fopen(json_path, "w")) {
@@ -487,20 +532,27 @@ int main(int argc, char** argv) {
         "  \"pair\": [\n%s  ],\n"
         "  \"batching\": {\"speedup\": %s, \"syscall_reduction\": %s,\n"
         "    \"send_allocs\": %llu, \"send_iterations\": %llu},\n"
+        "  \"session\": {\"ratio\": %s, \"rounds_per_sec_on\": %s,\n"
+        "    \"rounds_per_sec_off\": %s, \"reconnects\": %llu, "
+        "\"frames_replayed\": %llu},\n"
         "  \"acceptance\": {\"loopback_at_least_0_9x\": %s, "
         "\"steady_state_zero_alloc\": %s,\n"
         "    \"batched_at_least_2x\": %s, "
         "\"syscalls_reduced_at_least_4x\": %s, "
-        "\"send_path_zero_alloc\": %s}\n}\n",
+        "\"send_path_zero_alloc\": %s, "
+        "\"session_overhead_within_10pct\": %s}\n}\n",
         kEntities, kActive, static_cast<unsigned long long>(kSingleRounds),
         num(direct.rounds_per_sec).c_str(), num(neutral.rounds_per_sec).c_str(),
         num(ratio).c_str(),
         static_cast<unsigned long long>(neutral.steady_alloc_rounds),
         json_rows.c_str(), num(speedup).c_str(), num(syscall_cut).c_str(),
-        probe.allocs, probe.iterations, meets_ratio ? "true" : "false",
+        probe.allocs, probe.iterations, num(session_ratio).c_str(),
+        num(session_on.rounds_per_sec).c_str(),
+        num(session_off.rounds_per_sec).c_str(), session_on.reconnects,
+        session_on.frames_replayed, meets_ratio ? "true" : "false",
         meets_alloc ? "true" : "false", meets_speedup ? "true" : "false",
-        meets_syscalls ? "true" : "false",
-        meets_send_alloc ? "true" : "false");
+        meets_syscalls ? "true" : "false", meets_send_alloc ? "true" : "false",
+        meets_session ? "true" : "false");
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
   } else {
@@ -508,7 +560,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   return meets_ratio && meets_alloc && meets_speedup && meets_syscalls &&
-                 meets_send_alloc
+                 meets_send_alloc && meets_session
              ? 0
              : 1;
 }

@@ -57,6 +57,12 @@ struct Args {
   /// --hosts h0,h1[:port],... — one entry per node for a TCP mesh that
   /// spans machines. Empty keeps the single-machine loopback default.
   std::vector<std::string> hosts;
+  /// Session-layer knobs; -1 keeps the DistOptions default. Attempts = 0
+  /// disables reconnect/resume entirely (a lost link aborts the run).
+  int reconnect_attempts = -1;
+  int backoff_initial_ms = -1;
+  int backoff_cap_ms = -1;
+  int heartbeat_ms = -1;
 };
 
 /// Token ring: worker 0 seeds `tokens` tokens; each worker forwards to the
@@ -120,6 +126,12 @@ int run_node(const Args& args, int node,
   opts.nodes = args.nodes;
   opts.transport = std::move(transport);
   opts.peer_hosts = args.hosts;
+  if (args.reconnect_attempts >= 0)
+    opts.reconnect_max_attempts = args.reconnect_attempts;
+  if (args.backoff_initial_ms >= 0)
+    opts.backoff_initial_ms = args.backoff_initial_ms;
+  if (args.backoff_cap_ms >= 0) opts.backoff_cap_ms = args.backoff_cap_ms;
+  if (args.heartbeat_ms >= 0) opts.heartbeat_interval_ms = args.heartbeat_ms;
   estelle::ExecutorConfig cfg;
   cfg.kind = estelle::ExecutorKind::Distributed;
   cfg.backend_options = opts;
@@ -147,7 +159,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--nodes N] [--node I] [--transport "
                "loopback|unix|tcp]\n          [--dir PATH] [--port P] "
-               "[--hosts h0,h1[:port],...] [--systems K] [--tokens T]\n",
+               "[--hosts h0,h1[:port],...] [--systems K] [--tokens T]\n"
+               "          [--reconnect-attempts A] [--backoff-initial-ms B]\n"
+               "          [--backoff-cap-ms C] [--heartbeat-ms H]\n",
                argv0);
   return 2;
 }
@@ -175,6 +189,12 @@ int main(int argc, char** argv) {
     }
     else if (want("--systems")) args.systems = std::atoi(argv[++i]);
     else if (want("--tokens")) args.tokens = std::atoi(argv[++i]);
+    else if (want("--reconnect-attempts"))
+      args.reconnect_attempts = std::atoi(argv[++i]);
+    else if (want("--backoff-initial-ms"))
+      args.backoff_initial_ms = std::atoi(argv[++i]);
+    else if (want("--backoff-cap-ms")) args.backoff_cap_ms = std::atoi(argv[++i]);
+    else if (want("--heartbeat-ms")) args.heartbeat_ms = std::atoi(argv[++i]);
     else return usage(argv[0]);
   }
   if (args.nodes < 1 || args.node < 0 || args.node >= args.nodes ||

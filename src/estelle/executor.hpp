@@ -291,6 +291,15 @@ struct FreeRunningStats {
 /// this the whole backlog, not one frame); encode_pool_reuse counts frame
 /// encodes served entirely by a warmed per-peer buffer (no growth — the
 /// allocation-free steady state).
+///
+/// The session counters quantify the PR 9 recovery layer: reconnect_attempts
+/// counts mid-run redials (distinct from dial-time handshake_retries);
+/// reconnects counts completed resume handshakes; frames_replayed counts
+/// replay-ring records retransmitted by a resume; dup_frames_dropped counts
+/// data frames discarded because their sequence number was already
+/// delivered; heartbeats counts liveness RoundDone frames the runner sent
+/// while waiting on a gate; faults_injected counts frames a fault plan
+/// dropped/duplicated/delayed/closed on purpose.
 struct TransportStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_received = 0;
@@ -303,6 +312,12 @@ struct TransportStats {
   std::uint64_t frames_batched = 0;
   std::uint64_t bytes_per_write = 0;
   std::uint64_t encode_pool_reuse = 0;
+  std::uint64_t reconnect_attempts = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t frames_replayed = 0;
+  std::uint64_t dup_frames_dropped = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t faults_injected = 0;
 };
 
 /// Per-module firing summary, published into RunReport by a MetricsObserver

@@ -115,6 +115,20 @@ std::string MetricsObserver::to_string(std::size_t top) const {
         static_cast<unsigned long long>(transport_.frames_batched),
         static_cast<unsigned long long>(transport_.bytes_per_write),
         static_cast<unsigned long long>(transport_.encode_pool_reuse));
+    if (transport_.reconnects != 0 || transport_.reconnect_attempts != 0 ||
+        transport_.frames_replayed != 0 ||
+        transport_.dup_frames_dropped != 0 || transport_.heartbeats != 0 ||
+        transport_.faults_injected != 0)
+      out += common::strf(
+          "    session: %llu reconnects (%llu attempts), %llu frames "
+          "replayed, %llu duplicates dropped, %llu heartbeats, %llu faults "
+          "injected\n",
+          static_cast<unsigned long long>(transport_.reconnects),
+          static_cast<unsigned long long>(transport_.reconnect_attempts),
+          static_cast<unsigned long long>(transport_.frames_replayed),
+          static_cast<unsigned long long>(transport_.dup_frames_dropped),
+          static_cast<unsigned long long>(transport_.heartbeats),
+          static_cast<unsigned long long>(transport_.faults_injected));
   }
   out += "  firing-gap histogram (us, log2 buckets):\n";
   for (std::size_t b = 0; b < histogram_.size(); ++b) {

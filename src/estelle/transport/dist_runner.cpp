@@ -144,6 +144,17 @@ void DistributedRunner::wire() {
          " peers, need " + std::to_string(opts_.nodes - 1));
     return;
   }
+  if (transport_ != nullptr && !peers_.empty()) {
+    // Session/recovery configuration must be in place before the first
+    // frame: the fingerprint seals resume handshakes to this specification.
+    MailboxTransport::SessionOptions so;
+    so.reconnect_max_attempts = opts_.reconnect_max_attempts;
+    so.backoff_initial_ms = opts_.backoff_initial_ms;
+    so.backoff_cap_ms = opts_.backoff_cap_ms;
+    so.resend_timeout_ms = opts_.resend_timeout_ms;
+    so.fingerprint = spec_fingerprint();
+    transport_->configure_session(so);
+  }
   if (!peers_.empty()) (void)handshake();
 }
 
@@ -457,6 +468,7 @@ bool DistributedRunner::gate(std::uint64_t need) {
   const auto watchdog = std::chrono::milliseconds(opts_.gate_timeout_ms);
   auto deadline = SteadyClock::now() + watchdog;
   for (;;) {
+    maybe_heartbeat();
     int lagging = -1;
     for (const int gs : gate_shards_)
       if (remote_advertised_[static_cast<std::size_t>(gs)] < need) {
@@ -657,6 +669,33 @@ bool DistributedRunner::send_round_frames(std::uint64_t r, bool quiescent) {
   return true;
 }
 
+void DistributedRunner::maybe_heartbeat() {
+  // Piggyback liveness on the protocol's own idle-peer frame: re-sending
+  // the latest RoundDone is idempotent for the receiver (its round bound
+  // only moves forward) but counts as a received frame, so the receiver's
+  // watchdog resets. Waiting peers thus distinguish "slow" (heartbeats keep
+  // arriving — wait on) from "dead" (silence; the transport's reconnect
+  // budget expires and surfaces a structured kClosed abort).
+  if (transport_ == nullptr || opts_.heartbeat_interval_ms <= 0 ||
+      !ran_any_round_ || peers_.empty())
+    return;
+  const auto now = SteadyClock::now();
+  if (now < next_heartbeat_) return;
+  next_heartbeat_ =
+      now + std::chrono::milliseconds(opts_.heartbeat_interval_ms);
+  Frame hb;
+  hb.type = FrameType::RoundDone;
+  hb.node = static_cast<std::uint32_t>(opts_.node);
+  hb.round = round_;
+  hb.quiescent = last_quiescent_;
+  for (const PeerState& p : peers_) {
+    if (p.departed) continue;
+    (void)transport_->send(p.node, hb);  // best-effort; losses surface later
+  }
+  transport_->flush();
+  ++transport_->mutable_stats().heartbeats;
+}
+
 // ---------------------------------------------------------------------------
 // Quiescence
 
@@ -686,6 +725,7 @@ bool DistributedRunner::await_termination() {
   const bool coordinator = opts_.node == 0;
   bool probe_stale = false;  // last probe failed: wait for news to re-probe
   for (;;) {
+    maybe_heartbeat();
     if (!error_.empty()) return true;
     for (const PeerState& p : peers_)
       if (p.departed) {
@@ -714,6 +754,7 @@ bool DistributedRunner::await_termination() {
           if (!send_frame(p.node, probe)) return true;
         transport_->flush();
         for (;;) {  // collect this epoch's acks
+          maybe_heartbeat();
           if (!error_.empty()) return true;
           for (const PeerState& p : peers_)
             if (p.departed) {

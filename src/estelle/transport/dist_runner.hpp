@@ -62,6 +62,7 @@
 //   * one run() per process group: run end broadcasts Bye.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -88,8 +89,30 @@ struct DistOptions {
   std::vector<int> assignment;
   /// Watchdog for gate waits, back-pressure stalls, handshake and the
   /// termination protocol. Expiry aborts the run with RunReport::error
-  /// instead of hanging.
+  /// instead of hanging. Heartbeats (below) reset it: the watchdog fires on
+  /// "no sign of life", so it separates slow peers (keep waiting) from dead
+  /// ones (the transport's reconnect budget below surfaces those earlier).
   int gate_timeout_ms = 30000;
+  /// Session/recovery knobs, handed to the transport as
+  /// MailboxTransport::SessionOptions (with the specification fingerprint)
+  /// before the membership handshake. A mid-run connection loss is redialed
+  /// up to reconnect_max_attempts times with capped exponential backoff and
+  /// the lost frame tail replayed; 0 disables recovery (a loss aborts the
+  /// run immediately, the pre-session behavior). Counted separately from
+  /// dial-time handshake_retries in TransportStats::reconnect_attempts.
+  int reconnect_max_attempts = 5;
+  int backoff_initial_ms = 20;
+  int backoff_cap_ms = 1000;
+  /// Unacknowledged sent records older than this force a reconnect (the
+  /// retransmission timeout recovering a dropped stream tail).
+  int resend_timeout_ms = 1000;
+  /// While waiting on a gate or the termination protocol, re-send the
+  /// latest RoundDone to every live peer this often — an idle-peer
+  /// heartbeat. A waiting peer receiving one resets its own watchdog, so
+  /// slow-but-alive transitive chains never time out; a genuinely dead peer
+  /// sends none and its loss surfaces through the reconnect budget as a
+  /// structured abort well inside gate_timeout_ms. <= 0 disables.
+  int heartbeat_interval_ms = 200;
   /// Coalesce a round's transfers to each peer into one TransferBatch frame
   /// (flushed strictly before that round's Advertise, so the FIFO
   /// transfer-before-advertise ordering — and the merged-trace ≡ Sequential
@@ -197,6 +220,10 @@ class DistributedRunner final : public ShardedExecutor {
                        Interaction&& msg, std::int64_t sent_at_ns,
                        std::uint64_t round);
 
+  /// Re-send the latest RoundDone to live peers every heartbeat interval
+  /// (called from the gate / termination pump loops — the places a node
+  /// idles while peers may be watching it for signs of life).
+  void maybe_heartbeat();
   /// Wait until every remote gate shard has advertised >= `need`.
   bool gate(std::uint64_t need);
   /// Locally quiescent and peers exist: service the termination protocol.
@@ -217,6 +244,7 @@ class DistributedRunner final : public ShardedExecutor {
   bool last_quiescent_ = false;
   bool finished_ = false;  // clean Bye-confirmed end
   bool bye_sent_ = false;
+  std::chrono::steady_clock::time_point next_heartbeat_{};
   std::string error_;
 
   std::vector<int> assignment_;          // shard -> node

@@ -1,0 +1,151 @@
+#include "estelle/transport/fault_transport.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mcam::estelle {
+
+using common::Status;
+
+namespace {
+
+/// SplitMix64 — tiny, stateless-per-step, and identical on every platform,
+/// which is all a replayable fault schedule needs.
+std::uint64_t splitmix(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::seeded(std::uint64_t seed, std::uint64_t horizon,
+                            unsigned drop_per_mille, unsigned dup_per_mille,
+                            unsigned delay_per_mille,
+                            std::int64_t close_after) {
+  FaultPlan plan;
+  std::uint64_t state = seed * 0x9e3779b97f4a7c15ull + 0x6a09e667f3bcc909ull;
+  for (std::uint64_t i = 0; i < horizon; ++i) {
+    if (close_after >= 0 && i == static_cast<std::uint64_t>(close_after)) {
+      plan.actions.push_back({i, FaultKind::kClose, 1});
+      continue;
+    }
+    const std::uint64_t roll = splitmix(state) % 1000;
+    FaultAction a;
+    a.index = i;
+    if (roll < drop_per_mille) {
+      a.kind = FaultKind::kDrop;
+    } else if (roll < drop_per_mille + dup_per_mille) {
+      a.kind = FaultKind::kDuplicate;
+    } else if (roll < drop_per_mille + dup_per_mille + delay_per_mille) {
+      a.kind = FaultKind::kDelay;
+      a.delay_frames = 1 + static_cast<std::uint32_t>(splitmix(state) % 3);
+    } else {
+      continue;
+    }
+    plan.actions.push_back(a);
+  }
+  if (close_after >= 0 &&
+      static_cast<std::uint64_t>(close_after) >= horizon)
+    plan.actions.push_back(
+        {static_cast<std::uint64_t>(close_after), FaultKind::kClose, 1});
+  return plan;
+}
+
+FaultAction FaultPlan::at(std::uint64_t index) const noexcept {
+  const auto it = std::lower_bound(
+      actions.begin(), actions.end(), index,
+      [](const FaultAction& a, std::uint64_t i) { return a.index < i; });
+  if (it != actions.end() && it->index == index) return *it;
+  return FaultAction{index, FaultKind::kNone, 1};
+}
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::shared_ptr<MailboxTransport> inner)
+    : inner_(std::move(inner)) {}
+
+void FaultInjectingTransport::set_plan(int peer, FaultPlan plan) {
+  for (PeerFaults& pf : faults_) {
+    if (pf.peer != peer) continue;
+    pf.plan = std::move(plan);
+    return;
+  }
+  PeerFaults pf;
+  pf.peer = peer;
+  pf.plan = std::move(plan);
+  faults_.push_back(std::move(pf));
+}
+
+FaultInjectingTransport::PeerFaults* FaultInjectingTransport::faults_of(
+    int peer) {
+  for (PeerFaults& pf : faults_)
+    if (pf.peer == peer) return &pf;
+  return nullptr;
+}
+
+void FaultInjectingTransport::release_held(PeerFaults& pf, bool all) {
+  std::size_t kept = 0;
+  for (PeerFaults::Held& h : pf.held) {
+    if (!all && h.release_at > pf.next_index) {
+      pf.held[kept++] = std::move(h);
+      continue;
+    }
+    (void)inner_->send(pf.peer, h.frame);
+  }
+  pf.held.resize(kept);
+}
+
+Status FaultInjectingTransport::send(int peer, Frame& f) {
+  PeerFaults* pf = faults_of(peer);
+  if (pf == nullptr || pf->plan.empty()) return inner_->send(peer, f);
+  const FaultAction a = pf->plan.at(pf->next_index);
+  ++pf->next_index;
+  switch (a.kind) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kDrop:
+      ++inner_->mutable_stats().faults_injected;
+      release_held(*pf, false);
+      return Status::ok_status();  // consumed by the "network"
+    case FaultKind::kDuplicate: {
+      ++inner_->mutable_stats().faults_injected;
+      Frame copy = f;
+      const Status first = inner_->send(peer, copy);
+      if (!first.ok()) return first;  // original stays intact for the retry
+      break;
+    }
+    case FaultKind::kDelay: {
+      ++inner_->mutable_stats().faults_injected;
+      PeerFaults::Held h;
+      h.release_at = pf->next_index + a.delay_frames;
+      h.frame = std::move(f);
+      pf->held.push_back(std::move(h));
+      return Status::ok_status();
+    }
+    case FaultKind::kClose: {
+      ++inner_->mutable_stats().faults_injected;
+      const Status st = inner_->send(peer, f);
+      inner_->flush();
+      (void)inner_->sever(peer);
+      return st;
+    }
+  }
+  const Status st = inner_->send(peer, f);
+  if (st.ok()) release_held(*pf, false);
+  return st;
+}
+
+void FaultInjectingTransport::flush() {
+  // A round boundary: every held frame leaves now. Delays reorder traffic
+  // inside a burst but never strand a tail across the quiescent wait.
+  for (PeerFaults& pf : faults_) release_held(pf, true);
+  inner_->flush();
+}
+
+MailboxTransport::RecvOutcome FaultInjectingTransport::recv(
+    int* from, Frame* out, int timeout_ms, std::string* error) {
+  return inner_->recv(from, out, timeout_ms, error);
+}
+
+}  // namespace mcam::estelle

@@ -1,0 +1,122 @@
+// Deterministic fault injection for the distributed transport stack.
+//
+// Recovery code that is only exercised by real network weather is dead code
+// in CI. This header gives the tests and benches two seeded, reproducible
+// fault sources:
+//
+//   * FaultPlan — a per-peer schedule of faults keyed by outbound frame
+//     index. FaultPlan::seeded(seed, ...) derives the same schedule from the
+//     same seed on every run (SplitMix64, no global RNG state), so a failing
+//     seed is replayable verbatim.
+//   * FaultInjectingTransport — a decorator over any MailboxTransport that
+//     applies a plan to its send() path: Drop discards the frame, Duplicate
+//     sends it twice, Delay holds it back past later sends (released at the
+//     latest by flush(), so a delayed tail is never stranded), Close severs
+//     the inner link right after the frame leaves (sever() — over a
+//     session-enabled socket mesh that is a recoverable mid-run reset, over
+//     loopback a peer death). Every injected fault counts in the wrapped
+//     transport's TransportStats::faults_injected.
+//
+// StreamSocketTransport additionally accepts a FaultPlan at the *wire
+// record* level (set_wire_faults), below its session sequence numbers —
+// that is where a drop models the network eating bytes the session layer
+// must get back via gap detection, reconnect and replay.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "estelle/transport/transport.hpp"
+
+namespace mcam::estelle {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kDrop,       ///< discard the frame (the network ate it)
+  kDuplicate,  ///< deliver it twice
+  kDelay,      ///< hold it back past later frames (reorder)
+  kClose,      ///< sever the link right after this frame
+};
+
+/// One scheduled fault: applies to the `index`-th outbound frame (0-based,
+/// counted per peer).
+struct FaultAction {
+  std::uint64_t index = 0;
+  FaultKind kind = FaultKind::kNone;
+  /// kDelay: release after this many subsequent frames (>=1).
+  std::uint32_t delay_frames = 1;
+};
+
+/// A deterministic per-peer fault schedule.
+struct FaultPlan {
+  std::vector<FaultAction> actions;  // ascending index, unique indices
+
+  /// Rates per mille (0..1000) applied independently per frame index within
+  /// [0, horizon). `close_after`: additionally sever the link right after
+  /// frame index close_after (SIZE_MAX/no entry when < 0). Same seed ⇒ same
+  /// plan, always.
+  [[nodiscard]] static FaultPlan seeded(std::uint64_t seed,
+                                        std::uint64_t horizon,
+                                        unsigned drop_per_mille,
+                                        unsigned dup_per_mille,
+                                        unsigned delay_per_mille,
+                                        std::int64_t close_after = -1);
+
+  [[nodiscard]] bool empty() const noexcept { return actions.empty(); }
+  /// The fault scheduled for frame `index` (kNone action when unscheduled).
+  [[nodiscard]] FaultAction at(std::uint64_t index) const noexcept;
+};
+
+/// Decorator: a MailboxTransport that injects a deterministic fault plan
+/// into the frames it forwards. recv()/flush()/peers()/stats() delegate to
+/// the wrapped transport; configure_session() and sever() pass through, so
+/// a decorated session transport keeps its recovery behavior.
+class FaultInjectingTransport final : public MailboxTransport {
+ public:
+  explicit FaultInjectingTransport(std::shared_ptr<MailboxTransport> inner);
+
+  /// Install the outbound fault schedule toward `peer`.
+  void set_plan(int peer, FaultPlan plan);
+
+  [[nodiscard]] const std::vector<int>& peers() const noexcept override {
+    return inner_->peers();
+  }
+  common::Status send(int peer, Frame& f) override;
+  void flush() override;
+  RecvOutcome recv(int* from, Frame* out, int timeout_ms,
+                   std::string* error) override;
+  void configure_session(const SessionOptions& so) override {
+    inner_->configure_session(so);
+  }
+  bool sever(int peer) override { return inner_->sever(peer); }
+  [[nodiscard]] const TransportStats& stats() const noexcept override {
+    return inner_->stats();
+  }
+  [[nodiscard]] TransportStats& mutable_stats() noexcept override {
+    return inner_->mutable_stats();
+  }
+
+ private:
+  struct PeerFaults {
+    int peer = 0;
+    FaultPlan plan;
+    std::uint64_t next_index = 0;  // outbound frames seen so far
+    struct Held {
+      std::uint64_t release_at = 0;  // frame index that frees it
+      Frame frame;
+    };
+    std::vector<Held> held;
+  };
+
+  PeerFaults* faults_of(int peer);
+  /// Forward every held frame whose release index has passed (all of them
+  /// when `all`); send errors drop the held frame — it was fault-injected
+  /// traffic on a link that just died.
+  void release_held(PeerFaults& pf, bool all);
+
+  std::shared_ptr<MailboxTransport> inner_;
+  std::vector<PeerFaults> faults_;
+};
+
+}  // namespace mcam::estelle

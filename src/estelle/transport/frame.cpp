@@ -188,6 +188,12 @@ Value frame_value(const Frame& f) {
     case FrameType::Bye:
       body = {u64v(f.node)};
       break;
+    case FrameType::HelloResume:
+      body = {u64v(f.node), u64v(f.spec_hash), u64v(f.epoch), u64v(f.recv)};
+      break;
+    case FrameType::SessionAck:
+      body = {u64v(f.recv)};
+      break;
     case FrameType::TransferBatch: {
       // Reference encoding only: encode_frame_to routes batches through the
       // direct writer; the tests pin both to the same octets.
@@ -360,7 +366,7 @@ bool read_batch_body(ByteSpan body, Frame* f) {
 Result<Frame> frame_from_value(const Value& v) {
   if (v.tag_class() != asn1::TagClass::Application || !v.constructed())
     return Error::make(asn1::kBadTag, "frame: not an APPLICATION envelope");
-  if (v.tag() < 1 || v.tag() > 10)
+  if (v.tag() < 1 || v.tag() > 12)
     return Error::make(asn1::kBadTag,
                        "frame: unknown type " + std::to_string(v.tag()));
   Frame f;
@@ -428,6 +434,15 @@ Result<Frame> frame_from_value(const Value& v) {
     case FrameType::Bye:
       TRY_FIELD(f.node, get_u32(v, 0));
       break;
+    case FrameType::HelloResume:
+      TRY_FIELD(f.node, get_u32(v, 0));
+      TRY_FIELD(f.spec_hash, get_u64(v, 1));
+      TRY_FIELD(f.epoch, get_u64(v, 2));
+      TRY_FIELD(f.recv, get_u64(v, 3));
+      break;
+    case FrameType::SessionAck:
+      TRY_FIELD(f.recv, get_u64(v, 0));
+      break;
     case FrameType::TransferBatch: {
       TRY_FIELD(f.round, get_u64(v, 0));
       if (v.size() < 2)
@@ -477,6 +492,10 @@ const char* frame_type_name(FrameType t) noexcept {
       return "bye";
     case FrameType::TransferBatch:
       return "transfer-batch";
+    case FrameType::HelloResume:
+      return "hello-resume";
+    case FrameType::SessionAck:
+      return "session-ack";
   }
   return "?";
 }
@@ -490,14 +509,20 @@ void put_length_prefix(Bytes& out, std::size_t body_len) {
   out.push_back(static_cast<std::uint8_t>(body_len));
 }
 
-}  // namespace
+void put_seq(Bytes& out, std::uint64_t seq) {
+  for (int i = 8; i-- > 0;)
+    out.push_back(static_cast<std::uint8_t>(seq >> (8 * i)));
+}
 
-void encode_frame_to(const Frame& f, Bytes& out) {
+/// Shared emitter: `seq == nullptr` gives the plain dialect, otherwise the
+/// sequenced record (length | seq | body). The body octets are identical.
+void emit_frame(const Frame& f, const std::uint64_t* seq, Bytes& out) {
   // The per-message frames go through the direct writer; everything else is
   // per-round or per-run and keeps the simpler Value-tree path.
   if (f.type == FrameType::Transfer) {
     const std::size_t content = transfer_body_len(f);
     put_length_prefix(out, tlv_len(content));
+    if (seq != nullptr) put_seq(out, *seq);
     put_header(out, 0x63, content);  // [APPLICATION 3]
     put_int(out, static_cast<std::int64_t>(f.channel));
     put_int(out, f.dir);
@@ -510,6 +535,7 @@ void encode_frame_to(const Frame& f, Bytes& out) {
     std::size_t entries_content = 0;
     const std::size_t content = batch_body_len(f, &entries_content);
     put_length_prefix(out, tlv_len(content));
+    if (seq != nullptr) put_seq(out, *seq);
     put_header(out, 0x6A, content);  // [APPLICATION 10]
     put_int(out, static_cast<std::int64_t>(f.round));
     put_header(out, 0x30, entries_content);  // SEQUENCE OF entry
@@ -524,7 +550,18 @@ void encode_frame_to(const Frame& f, Bytes& out) {
   }
   const Value v = frame_value(f);
   put_length_prefix(out, asn1::encoded_length(v));
+  if (seq != nullptr) put_seq(out, *seq);
   asn1::encode_to(v, out);
+}
+
+}  // namespace
+
+void encode_frame_to(const Frame& f, Bytes& out) {
+  emit_frame(f, nullptr, out);
+}
+
+void encode_frame_seq_to(const Frame& f, std::uint64_t seq, Bytes& out) {
+  emit_frame(f, &seq, out);
 }
 
 Bytes encode_frame(const Frame& f) {
@@ -569,8 +606,9 @@ void FrameReassembler::feed(ByteSpan data) {
 }
 
 FrameReassembler::Next FrameReassembler::next(Frame* out, std::string* error) {
+  const std::size_t header = seq_prefixed_ ? 12 : 4;
   const std::size_t avail = buf_.size() - pos_;
-  if (avail < 4) return Next::kNeedMore;
+  if (avail < header) return Next::kNeedMore;
   const std::uint8_t* p = buf_.data() + pos_;
   const std::size_t body_len = (static_cast<std::size_t>(p[0]) << 24) |
                                (static_cast<std::size_t>(p[1]) << 16) |
@@ -582,8 +620,8 @@ FrameReassembler::Next FrameReassembler::next(Frame* out, std::string* error) {
                " exceeds limit — stream corrupt";
     return Next::kError;
   }
-  if (avail < 4 + body_len) return Next::kNeedMore;
-  Result<Frame> f = decode_frame(ByteSpan{p + 4, body_len});
+  if (avail < header + body_len) return Next::kNeedMore;
+  Result<Frame> f = decode_frame(ByteSpan{p + header, body_len});
   if (!f.ok()) {
     // A framed-but-undecodable body means the peer speaks another dialect
     // (or the stream desynchronized); resynchronizing inside BER garbage is
@@ -591,7 +629,12 @@ FrameReassembler::Next FrameReassembler::next(Frame* out, std::string* error) {
     if (error != nullptr) *error = "frame decode: " + f.error().message;
     return Next::kError;
   }
-  pos_ += 4 + body_len;
+  if (seq_prefixed_) {
+    std::uint64_t seq = 0;
+    for (int i = 4; i < 12; ++i) seq = (seq << 8) | p[i];
+    last_seq_ = seq;
+  }
+  pos_ += header + body_len;
   *out = std::move(f).value();
   return Next::kFrame;
 }

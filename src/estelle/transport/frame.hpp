@@ -34,6 +34,20 @@
 //   ProbeAck [8]   node, epoch, quiescent, sent, recv — flow-conservation
 //                  reply (Σsent == Σrecv across nodes ⇒ nothing in flight).
 //   Bye [9]        node — coordinator-confirmed global quiescence.
+//   HelloResume [11]
+//                  node, spec_hash, epoch, recv — the session resume
+//                  handshake. Sent as the first frame on a reconnected
+//                  stream: spec_hash is the sender's configured session
+//                  fingerprint (a mismatch refuses the resume), epoch counts
+//                  the sender's reconnect generations, recv is the highest
+//                  in-order data sequence number the sender has delivered —
+//                  the peer replays its unacknowledged records from recv+1.
+//   SessionAck [12]
+//                  recv — cumulative delivery acknowledgement; the peer
+//                  prunes its replay ring through recv. HelloResume and
+//                  SessionAck are session-control frames: on a sequenced
+//                  stream they travel with sequence number 0, are consumed
+//                  inside the transport, and never reach the runner.
 //   TransferBatch [10]
 //                  round, then SEQUENCE OF entry — all of one round's
 //                  transfers to one peer under a single shared round stamp.
@@ -78,6 +92,8 @@ enum class FrameType : std::uint32_t {
   ProbeAck = 8,
   Bye = 9,
   TransferBatch = 10,
+  HelloResume = 11,
+  SessionAck = 12,
 };
 
 [[nodiscard]] const char* frame_type_name(FrameType t) noexcept;
@@ -142,12 +158,21 @@ inline constexpr std::size_t kMaxFrameBytes = 1u << 24;
 void encode_frame_to(const Frame& f, common::Bytes& out);
 /// The length-prefixed encoding of `f` as a fresh buffer (tests).
 [[nodiscard]] common::Bytes encode_frame(const Frame& f);
+/// The sequenced-stream record of `f`: u32 body length | u64 big-endian
+/// sequence number | BER body. Data frames carry seq >= 1; session-control
+/// frames (HelloResume, SessionAck) travel with seq 0. Appended to `out`
+/// like encode_frame_to — the session transport's only wire dialect.
+void encode_frame_seq_to(const Frame& f, std::uint64_t seq,
+                         common::Bytes& out);
 
 /// Decode one frame *body* (the BER value, no length prefix). Malformed
 /// input is an expected peer condition, not a programming error.
 [[nodiscard]] common::Result<Frame> decode_frame(common::ByteSpan body);
 
 /// Incremental stream-to-frame reassembly over split read() boundaries.
+/// Default-constructed it speaks the plain `u32 len | body` dialect; with
+/// seq_prefixed it parses the sequenced-stream records encode_frame_seq_to
+/// emits and exposes each frame's sequence number through last_seq().
 class FrameReassembler {
  public:
   enum class Next {
@@ -156,10 +181,27 @@ class FrameReassembler {
     kError,     ///< unrecoverable stream corruption; *error says what
   };
 
+  FrameReassembler() = default;
+  explicit FrameReassembler(bool seq_prefixed) : seq_prefixed_(seq_prefixed) {}
+
+  void set_seq_prefixed(bool on) noexcept { seq_prefixed_ = on; }
+
   /// Append raw stream bytes (any split, including zero-length).
   void feed(common::ByteSpan data);
   /// Extract the next complete frame from the buffered bytes.
   Next next(Frame* out, std::string* error);
+
+  /// Sequence number of the frame the last successful next() returned
+  /// (always 0 on a plain, non-sequenced stream).
+  [[nodiscard]] std::uint64_t last_seq() const noexcept { return last_seq_; }
+
+  /// Discard every buffered byte (a reconnected stream starts clean). The
+  /// buffer keeps its capacity; regrowths() keeps counting cumulatively.
+  void reset() noexcept {
+    buf_.clear();
+    pos_ = 0;
+    last_seq_ = 0;
+  }
 
   /// Bytes currently buffered but not yet consumed as frames.
   [[nodiscard]] std::size_t pending() const noexcept {
@@ -176,6 +218,8 @@ class FrameReassembler {
   common::Bytes buf_;
   std::size_t pos_ = 0;  // consumed prefix, compacted before regrowth
   std::uint64_t regrowths_ = 0;
+  std::uint64_t last_seq_ = 0;
+  bool seq_prefixed_ = false;
 };
 
 }  // namespace mcam::estelle

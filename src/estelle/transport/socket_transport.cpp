@@ -1,5 +1,6 @@
 #include "estelle/transport/socket_transport.hpp"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
 #include <chrono>
@@ -30,7 +31,8 @@ void set_nonblocking(int fd) {
   ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
-/// Blocking exact-count I/O for the setup phase (id preambles).
+/// Blocking exact-count I/O for the setup phase (id preambles, resume
+/// hellos — a handful of bytes on a fresh socket).
 bool write_all(int fd, const void* data, std::size_t n) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (n > 0) {
@@ -59,10 +61,33 @@ bool read_all(int fd, void* data, std::size_t n) {
   return true;
 }
 
+/// "host" or "host:port" for node i; loopback and base_port + i when
+/// unspecified.
+void tcp_addr_of(const std::vector<std::string>& hosts,
+                 std::uint16_t base_port, int i, std::string* host,
+                 std::uint16_t* port) {
+  *host = "127.0.0.1";
+  *port = static_cast<std::uint16_t>(base_port + i);
+  if (hosts.empty()) return;
+  const std::string& spec = hosts[static_cast<std::size_t>(i)];
+  if (spec.empty()) return;
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    *host = spec;
+    return;
+  }
+  *host = spec.substr(0, colon);
+  *port = static_cast<std::uint16_t>(
+      std::strtoul(spec.c_str() + colon + 1, nullptr, 10));
+}
+
 struct MeshSetup {
   /// Connected, preamble-exchanged fds keyed by peer node.
   std::vector<StreamSocketTransport::PeerFd> fds;
   std::uint64_t retries = 0;
+  /// The bound mesh listener, still open: the session layer re-accepts
+  /// reconnecting lower-id peers on it for the whole run.
+  int listener = -1;
 };
 
 /// The dial/accept split every mesh uses: node i dials every lower id and
@@ -124,7 +149,7 @@ Result<MeshSetup> build_mesh(
     setup.fds.push_back({static_cast<int>(ntohl(id)), fd});
     --expected;
   }
-  ::close(listener);
+  setup.listener = listener;
   return setup;
 }
 
@@ -152,8 +177,23 @@ std::unique_ptr<StreamSocketTransport> StreamSocketTransport::from_fds(
 Result<std::unique_ptr<StreamSocketTransport>>
 StreamSocketTransport::unix_mesh(int node, int nodes, const std::string& dir,
                                  int connect_timeout_ms) {
-  const auto path_of = [&dir](int n) {
+  const auto path_of = [dir](int n) {
     return dir + "/node" + std::to_string(n) + ".sock";
+  };
+  // By-value capture: the transport keeps this closure for the whole run to
+  // redial lost peers long after unix_mesh() returned.
+  std::function<int(int)> dial = [path_of](int peer) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string path = path_of(peer);
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
   };
   Result<MeshSetup> setup = build_mesh(
       node, nodes, connect_timeout_ms,
@@ -173,23 +213,14 @@ StreamSocketTransport::unix_mesh(int node, int nodes, const std::string& dir,
         }
         return fd;
       },
-      [&](int peer) {
-        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-        if (fd < 0) return -1;
-        sockaddr_un addr{};
-        addr.sun_family = AF_UNIX;
-        const std::string path = path_of(peer);
-        std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
-        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-            0) {
-          ::close(fd);
-          return -1;
-        }
-        return fd;
-      });
+      dial);
   if (!setup.ok()) return setup.error();
   auto t = from_fds(std::move(setup.value().fds));
   t->mutable_stats().handshake_retries = setup.value().retries;
+  t->self_node_ = node;
+  t->listener_fd_ = setup.value().listener;
+  if (t->listener_fd_ >= 0) set_nonblocking(t->listener_fd_);
+  t->dial_ = std::move(dial);
   return t;
 }
 
@@ -201,24 +232,35 @@ Result<std::unique_ptr<StreamSocketTransport>> StreamSocketTransport::tcp_mesh(
                        "tcp mesh: host list names " +
                            std::to_string(hosts.size()) + " nodes, mesh has " +
                            std::to_string(nodes));
-  // "host" or "host:port" for node i; loopback and base_port + i when
-  // unspecified. Resolution happens per dial attempt — it is the cold path,
-  // and a peer whose name appears late (DNS, container startup) benefits
-  // from being re-queried inside the retry loop.
-  const auto addr_of = [&](int i, std::string* host, std::uint16_t* port) {
-    *host = "127.0.0.1";
-    *port = static_cast<std::uint16_t>(base_port + i);
-    if (hosts.empty()) return;
-    const std::string& spec = hosts[static_cast<std::size_t>(i)];
-    if (spec.empty()) return;
-    const std::size_t colon = spec.rfind(':');
-    if (colon == std::string::npos) {
-      *host = spec;
-      return;
+  // Resolution happens per dial attempt — it is the cold path, and a peer
+  // whose name appears late (DNS, container startup) benefits from being
+  // re-queried inside the retry loop. By-value capture: kept for redials.
+  std::function<int(int)> dial = [hosts, base_port](int peer) {
+    std::string host;
+    std::uint16_t port = 0;
+    tcp_addr_of(hosts, base_port, peer, &host, &port);
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                      &res) != 0 ||
+        res == nullptr)
+      return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      ::freeaddrinfo(res);
+      return -1;
     }
-    *host = spec.substr(0, colon);
-    *port = static_cast<std::uint16_t>(
-        std::strtoul(spec.c_str() + colon + 1, nullptr, 10));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+    ::freeaddrinfo(res);
+    if (rc < 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
   };
   Result<MeshSetup> setup = build_mesh(
       node, nodes, connect_timeout_ms,
@@ -234,7 +276,7 @@ Result<std::unique_ptr<StreamSocketTransport>> StreamSocketTransport::tcp_mesh(
             htonl(hosts.empty() ? INADDR_LOOPBACK : INADDR_ANY);
         std::string self_host;
         std::uint16_t self_port = 0;
-        addr_of(node, &self_host, &self_port);
+        tcp_addr_of(hosts, base_port, node, &self_host, &self_port);
         addr.sin_port = htons(self_port);
         if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
             ::listen(fd, nodes) < 0) {
@@ -243,33 +285,7 @@ Result<std::unique_ptr<StreamSocketTransport>> StreamSocketTransport::tcp_mesh(
         }
         return fd;
       },
-      [&](int peer) {
-        std::string host;
-        std::uint16_t port = 0;
-        addr_of(peer, &host, &port);
-        addrinfo hints{};
-        hints.ai_family = AF_INET;
-        hints.ai_socktype = SOCK_STREAM;
-        addrinfo* res = nullptr;
-        if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
-                          &res) != 0 ||
-            res == nullptr)
-          return -1;
-        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-        if (fd < 0) {
-          ::freeaddrinfo(res);
-          return -1;
-        }
-        const int one = 1;
-        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-        const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
-        ::freeaddrinfo(res);
-        if (rc < 0) {
-          ::close(fd);
-          return -1;
-        }
-        return fd;
-      });
+      dial);
   if (!setup.ok()) return setup.error();
   for (auto& pf : setup.value().fds) {
     const int one = 1;
@@ -277,15 +293,69 @@ Result<std::unique_ptr<StreamSocketTransport>> StreamSocketTransport::tcp_mesh(
   }
   auto t = from_fds(std::move(setup.value().fds));
   t->mutable_stats().handshake_retries = setup.value().retries;
+  t->self_node_ = node;
+  t->listener_fd_ = setup.value().listener;
+  if (t->listener_fd_ >= 0) set_nonblocking(t->listener_fd_);
+  t->dial_ = std::move(dial);
   return t;
 }
 
 StreamSocketTransport::~StreamSocketTransport() {
+  // Session linger: a graceful exit must not strand sent-but-unacknowledged
+  // records — the runner's parting Bye may be sitting in a replay ring
+  // behind a mid-reconnect link, and tearing down now would leave the peer
+  // redialing a dead process. Pump the recovery machinery (redials, accepts,
+  // resumes, replays, acks) until every recoverable link has an empty ring
+  // and no reconnect in flight; late data frames are discarded — the runner
+  // is gone, the peer only needs its replays delivered and acknowledged.
+  // Bounded by the session's own retry budget: a genuinely dead peer
+  // exhausts its attempts into a permanent close and the loop exits.
+  if (session_.reconnect_max_attempts > 0) {
+    // Only an unacknowledged ring keeps us here: `waiting`/`resuming` alone
+    // mean the PEER left (usually its own graceful farewell) while we owe it
+    // nothing — redialing it would burn the whole backoff budget against a
+    // process that is also tearing down.
+    const auto needs_linger = [this] {
+      for (const Conn& c : conns_)
+        if (!c.closed && recoverable(c) && !c.peer_departed && !c.ring.empty())
+          return true;
+      return false;
+    };
+    // A parting cumulative ack lets a peer lingering on ITS ring exit
+    // immediately instead of waiting out the idle-ack throttle; re-sent
+    // after every pump so replayed records are acknowledged on arrival.
+    const auto send_final_acks = [this] {
+      for (Conn& c : conns_) {
+        if (c.fd < 0 || c.closed || c.resuming || c.rx_since_ack == 0)
+          continue;
+        Frame ack;
+        ack.type = FrameType::SessionAck;
+        ack.recv = c.rx_seq;
+        queue_control(c, ack);
+        c.rx_since_ack = 0;
+        try_flush(c);
+      }
+    };
+    const auto linger_deadline =
+        SteadyClock::now() +
+        std::chrono::milliseconds(session_.resend_timeout_ms +
+                                  total_backoff_budget_ms());
+    Frame f;
+    int from = 0;
+    std::string err;
+    send_final_acks();
+    while (needs_linger() && SteadyClock::now() < linger_deadline) {
+      (void)recv(&from, &f, 20, &err);
+      send_final_acks();
+    }
+    send_final_acks();
+  }
   // Graceful close. Flush what the peers are still owed (the runner's
   // parting Bye is usually in the backlog), announce end-of-stream, then
   // drain inbound to EOF before close(): a TCP close with unread inbound
   // data turns into RST, which would destroy our final frames in flight.
-  // The whole farewell is bounded by one shared deadline.
+  // The whole farewell is bounded by one shared deadline. Conns that are
+  // down mid-reconnect (fd < 0) have nothing to say goodbye to.
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
   const auto left_ms = [&deadline] {
@@ -300,6 +370,7 @@ StreamSocketTransport::~StreamSocketTransport() {
       if (::poll(&p, 1, static_cast<int>(left_ms())) <= 0) break;
       try_flush(c);
     }
+    if (c.fd < 0) continue;  // try_flush may have dropped the stream
     if (!c.closed) ::shutdown(c.fd, SHUT_WR);
   }
   for (Conn& c : conns_) {
@@ -317,6 +388,7 @@ StreamSocketTransport::~StreamSocketTransport() {
     }
     ::close(c.fd);
   }
+  if (listener_fd_ >= 0) ::close(listener_fd_);
 }
 
 StreamSocketTransport::Conn* StreamSocketTransport::conn_of(
@@ -326,8 +398,394 @@ StreamSocketTransport::Conn* StreamSocketTransport::conn_of(
   return nullptr;
 }
 
+bool StreamSocketTransport::recoverable(const Conn& c) const noexcept {
+  if (session_.reconnect_max_attempts <= 0 || self_node_ < 0) return false;
+  // Mesh discipline: we dialed every lower id, accepted every higher one —
+  // recovery keeps the same roles.
+  return c.node < self_node_ ? static_cast<bool>(dial_) : listener_fd_ >= 0;
+}
+
+long StreamSocketTransport::total_backoff_budget_ms() const noexcept {
+  long total = 0;
+  int b = session_.backoff_initial_ms > 0 ? session_.backoff_initial_ms : 1;
+  const int cap = session_.backoff_cap_ms > 0 ? session_.backoff_cap_ms : b;
+  for (int i = 0; i < session_.reconnect_max_attempts; ++i) {
+    total += b + b / 2;  // worst-case jitter is half the base
+    b = std::min(b * 2, std::max(cap, 1));
+  }
+  // Slack for dial/handshake latency so the passive side outlives the
+  // dialing side's full schedule.
+  return total + 750;
+}
+
+void StreamSocketTransport::permanent_close(Conn& c, std::string why) {
+  c.waiting = false;
+  c.resuming = false;
+  if (c.fd >= 0) {
+    ::close(c.fd);
+    c.fd = -1;
+  }
+  c.closed = true;
+  c.rx_eof = true;
+  if (c.close_reason.empty()) c.close_reason = std::move(why);
+}
+
+void StreamSocketTransport::salvage_rx(Conn& c) {
+  Frame f;
+  std::string why;
+  for (;;) {
+    switch (c.rx.next(&f, &why)) {
+      case FrameReassembler::Next::kFrame: {
+        const std::uint64_t seq = c.rx.last_seq();
+        if (seq == 0) {
+          on_control(c, f, /*allow_resume=*/false);
+          continue;
+        }
+        if (seq <= c.rx_seq) {
+          ++stats_.dup_frames_dropped;
+          continue;
+        }
+        if (seq != c.rx_seq + 1) return;  // gap — the rest will be replayed
+        c.rx_seq = seq;
+        c.pending_rx.push_back(std::move(f));
+        continue;
+      }
+      case FrameReassembler::Next::kNeedMore:
+      case FrameReassembler::Next::kError:
+        return;  // a truncated tail is expected on a dying stream
+    }
+  }
+}
+
+void StreamSocketTransport::enter_reconnect(Conn& c, std::string why) {
+  if (!recoverable(c) || c.peer_departed) {
+    permanent_close(c, std::move(why));
+    return;
+  }
+  if (c.waiting) return;  // already recovering; keep the first cause
+  const bool mid_resume = c.resuming;  // a resume attempt itself failed
+  if (c.fd >= 0) {
+    // Final nonblocking drain: the peer's parting frames (a Bye racing our
+    // send failure) may already sit in the kernel buffer — salvage them
+    // before the stream goes away or a graceful leave would be
+    // misclassified as a death.
+    std::uint8_t chunk[4096];
+    for (;;) {
+      const ssize_t r = ::read(c.fd, chunk, sizeof chunk);
+      if (r > 0) {
+        stats_.bytes_received += static_cast<std::uint64_t>(r);
+        c.rx.feed(ByteSpan{chunk, static_cast<std::size_t>(r)});
+        continue;
+      }
+      if (r < 0 && errno == EINTR) continue;
+      break;
+    }
+  }
+  salvage_rx(c);
+  if (c.fd >= 0) {
+    ::close(c.fd);
+    c.fd = -1;
+  }
+  c.txq.clear();
+  c.rx.reset();
+  c.delayed.clear();
+  c.resuming = false;
+  c.closed = false;
+  c.rx_eof = false;
+  c.waiting = true;
+  ++c.epoch;
+  if (c.jitter_state == 0)
+    c.jitter_state = 0x9e3779b9u ^
+                     (static_cast<std::uint32_t>(self_node_) * 2654435761u) ^
+                     (static_cast<std::uint32_t>(c.node) << 8) ^ 1u;
+  const auto now = SteadyClock::now();
+  c.next_attempt = now;  // first redial fires immediately
+  if (!mid_resume) {
+    // A fresh loss gets a fresh budget; a failed resume keeps burning the
+    // one that opened it, so a flapping peer cannot extend its own deadline.
+    c.attempt = 0;
+    c.backoff_ms = session_.backoff_initial_ms > 0 ? session_.backoff_initial_ms
+                                                   : 1;
+    c.give_up = now + std::chrono::milliseconds(total_backoff_budget_ms());
+  }
+  if (c.wait_reason.empty()) c.wait_reason = std::move(why);
+}
+
+void StreamSocketTransport::prune_ring(Conn& c, std::uint64_t upto) {
+  bool progress = false;
+  while (!c.ring.empty() && c.ring.front().seq <= upto) {
+    c.ring_bytes -= c.ring.front().wire.size();
+    if (spare_.size() < 64) spare_.push_back(std::move(c.ring.front().wire));
+    c.ring.pop_front();
+    progress = true;
+  }
+  if (upto > c.acked) c.acked = std::min(upto, c.tx_seq);
+  if (progress) c.oldest_unacked = SteadyClock::now();
+}
+
+void StreamSocketTransport::queue_control(Conn& c, const Frame& f) {
+  ctrl_buf_.clear();
+  encode_frame_seq_to(f, 0, ctrl_buf_);
+  c.txq.append(ByteSpan{ctrl_buf_.data(), ctrl_buf_.size()});
+  ++stats_.frames_sent;
+}
+
+void StreamSocketTransport::maybe_ack(Conn& c, bool idle) {
+  if (c.rx_since_ack == 0 || c.fd < 0 || c.resuming || c.closed ||
+      !recoverable(c))
+    return;
+  if (!idle && c.rx_since_ack < kAckIntervalFrames) return;
+  const auto now = SteadyClock::now();
+  if (idle && now - c.last_ack < std::chrono::milliseconds(20)) return;
+  Frame ack;
+  ack.type = FrameType::SessionAck;
+  ack.recv = c.rx_seq;
+  queue_control(c, ack);
+  c.rx_since_ack = 0;
+  c.last_ack = now;
+  try_flush(c);
+}
+
+void StreamSocketTransport::complete_resume(Conn& c, const Frame& hr) {
+  if (hr.spec_hash != session_.fingerprint) {
+    permanent_close(c, "resume refused: specification fingerprint mismatch");
+    return;
+  }
+  if (hr.recv > c.tx_seq) {
+    permanent_close(c, "resume refused: peer acknowledges records never sent");
+    return;
+  }
+  if (hr.recv < c.acked) {
+    // The ring never evicts unacknowledged records (send back-pressures
+    // instead), so this means the peer lost session state entirely.
+    permanent_close(c, "resume refused: peer needs records beyond the ring");
+    return;
+  }
+  prune_ring(c, hr.recv);
+  c.resuming = false;
+  c.waiting = false;
+  c.attempt = 0;
+  c.wait_reason.clear();
+  // Replay exactly the retained tail the peer has not delivered, in
+  // sequence order — per-peer FIFO survives the reconnect.
+  std::uint64_t replayed = 0;
+  for (const ReplayRec& r : c.ring) {
+    c.txq.append(ByteSpan{r.wire.data(), r.wire.size()});
+    ++replayed;
+  }
+  stats_.frames_replayed += replayed;
+  ++stats_.reconnects;
+  if (!c.ring.empty()) c.oldest_unacked = SteadyClock::now();
+  try_flush(c);
+}
+
+void StreamSocketTransport::on_control(Conn& c, Frame& f, bool allow_resume) {
+  switch (f.type) {
+    case FrameType::SessionAck:
+      prune_ring(c, f.recv);
+      return;
+    case FrameType::HelloResume:
+      if (allow_resume && c.resuming) complete_resume(c, f);
+      return;
+    default:
+      return;  // unknown control frame: ignore (forward compatibility)
+  }
+}
+
+bool StreamSocketTransport::begin_resume(Conn& c, int fd, bool dialer) {
+  if (dialer) {
+    const std::uint32_t id = htonl(static_cast<std::uint32_t>(self_node_));
+    if (!write_all(fd, &id, sizeof id)) {
+      ::close(fd);
+      return false;
+    }
+  }
+  Frame hello;
+  hello.type = FrameType::HelloResume;
+  hello.node = static_cast<std::uint32_t>(self_node_);
+  hello.spec_hash = session_.fingerprint;
+  hello.epoch = c.epoch;
+  hello.recv = c.rx_seq;
+  ctrl_buf_.clear();
+  encode_frame_seq_to(hello, 0, ctrl_buf_);
+  if (!write_all(fd, ctrl_buf_.data(), ctrl_buf_.size())) {
+    ::close(fd);
+    return false;
+  }
+  stats_.bytes_sent += ctrl_buf_.size();
+  ++stats_.frames_sent;
+  set_nonblocking(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);  // no-op
+                                                                 // off TCP
+  c.fd = fd;
+  c.waiting = false;
+  c.resuming = true;
+  c.closed = false;
+  c.rx_eof = false;
+  c.rx.reset();
+  return true;
+}
+
+void StreamSocketTransport::accept_pending() {
+  for (;;) {
+    const int fd = ::accept(listener_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: queue drained
+    }
+    // The dialer writes its id preamble immediately after connect; bound
+    // the wait so a half-open stray cannot stall the pump.
+    pollfd p{fd, POLLIN, 0};
+    std::uint32_t id = 0;
+    if (::poll(&p, 1, 1000) <= 0 || !read_all(fd, &id, sizeof id)) {
+      ::close(fd);
+      continue;
+    }
+    Conn* c = conn_of(static_cast<int>(ntohl(id)));
+    if (c == nullptr || dead(*c) || !recoverable(*c)) {
+      ::close(fd);
+      continue;
+    }
+    // The peer noticed the loss first (or redialed twice): drop whatever
+    // stream we still hold and adopt the new one.
+    if (!c->waiting) enter_reconnect(*c, "peer reconnected");
+    if (!c->waiting) {
+      ::close(fd);  // the loss turned permanent instead
+      continue;
+    }
+    (void)begin_resume(*c, fd, /*dialer=*/false);
+  }
+}
+
+void StreamSocketTransport::service_reconnects(bool check_rto) {
+  if (session_.reconnect_max_attempts <= 0) return;
+  // The common case — every link up, nothing recovering — must cost a scan
+  // and no clock read: this runs on every send()/flush()/recv() pass.
+  bool active = false;
+  for (const Conn& c : conns_)
+    if (c.waiting || c.resuming ||
+        (check_rto && c.fd >= 0 && !c.closed && !c.ring.empty() &&
+         session_.resend_timeout_ms > 0)) {
+      active = true;
+      break;
+    }
+  if (!active) return;
+  const auto now = SteadyClock::now();
+  for (Conn& c : conns_) {
+    if (dead(c)) continue;
+    // Retransmission timeout: unacknowledged records with no ack progress
+    // mean the tail may be lost on the wire (a drop with no later traffic
+    // to expose the gap) — force a reconnect; the resume replays it.
+    if (c.fd >= 0 && !c.resuming && !c.closed && !c.ring.empty() &&
+        session_.resend_timeout_ms > 0 && recoverable(c) &&
+        now - c.oldest_unacked >=
+            std::chrono::milliseconds(session_.resend_timeout_ms))
+      enter_reconnect(c, "retransmission timeout: node " +
+                             std::to_string(c.node) +
+                             " stopped acknowledging");
+    if (c.resuming && now >= c.give_up) {
+      permanent_close(c, "resume handshake with node " +
+                             std::to_string(c.node) + " timed out (" +
+                             c.wait_reason + ")");
+      continue;
+    }
+    if (!c.waiting) continue;
+    if (now >= c.give_up) {
+      permanent_close(c, "node " + std::to_string(c.node) +
+                             " did not come back (" + c.wait_reason + ")");
+      continue;
+    }
+    if (c.node > self_node_) continue;  // accept side waits passively
+    if (now < c.next_attempt) continue;
+    if (c.attempt >= session_.reconnect_max_attempts) {
+      std::string why = "reconnect to node " + std::to_string(c.node) +
+                        " failed after " + std::to_string(c.attempt) +
+                        " attempts (" + c.wait_reason;
+      if (!c.last_dial_error.empty()) why += "; last: " + c.last_dial_error;
+      permanent_close(c, why + ")");
+      continue;
+    }
+    ++c.attempt;
+    ++stats_.reconnect_attempts;
+    errno = 0;
+    const int fd = dial_ ? dial_(c.node) : -1;
+    if (fd >= 0 && begin_resume(c, fd, /*dialer=*/true)) continue;
+    if (fd < 0)
+      c.last_dial_error = errno != 0 ? std::strerror(errno) : "dial failed";
+    // Capped exponential backoff with deterministic jitter (a shared LCG
+    // would make simultaneously-reconnecting nodes stampede in phase).
+    c.jitter_state = c.jitter_state * 1664525u + 1013904223u;
+    const int base = c.backoff_ms > 0 ? c.backoff_ms : 1;
+    const int jit = static_cast<int>(
+        (c.jitter_state >> 16) % (static_cast<std::uint32_t>(base / 2) + 1));
+    c.next_attempt = SteadyClock::now() + std::chrono::milliseconds(base + jit);
+    const int cap = session_.backoff_cap_ms > 0 ? session_.backoff_cap_ms : 1;
+    c.backoff_ms = std::min(base * 2, std::max(cap, 1));
+  }
+}
+
+void StreamSocketTransport::release_delayed(Conn& c, bool all) {
+  if (c.delayed.empty()) return;
+  std::size_t kept = 0;
+  for (DelayedRec& d : c.delayed) {
+    if (!all && d.release_at > c.wire_index) {
+      c.delayed[kept++] = std::move(d);
+      continue;
+    }
+    c.txq.append(ByteSpan{d.wire.data(), d.wire.size()});
+    if (spare_.size() < 64) spare_.push_back(std::move(d.wire));
+  }
+  c.delayed.resize(kept);
+}
+
+void StreamSocketTransport::append_wire_record(Conn& c) {
+  FaultKind kind = FaultKind::kNone;
+  std::uint32_t delay = 1;
+  if (!c.wire_faults.empty()) {
+    const FaultAction a = c.wire_faults.at(c.wire_index);
+    kind = a.kind;
+    delay = a.delay_frames;
+  }
+  ++c.wire_index;
+  const ByteSpan rec{c.encode_buf.data(), c.encode_buf.size()};
+  switch (kind) {
+    case FaultKind::kNone:
+      c.txq.append(rec);
+      release_delayed(c, false);
+      return;
+    case FaultKind::kDrop:
+      ++stats_.faults_injected;  // the network ate it; the ring recovers it
+      return;
+    case FaultKind::kDuplicate:
+      ++stats_.faults_injected;
+      c.txq.append(rec);
+      c.txq.append(rec);
+      release_delayed(c, false);
+      return;
+    case FaultKind::kDelay: {
+      ++stats_.faults_injected;
+      DelayedRec d;
+      d.release_at = c.wire_index + delay;
+      if (!spare_.empty()) {
+        d.wire = std::move(spare_.back());
+        spare_.pop_back();
+      }
+      d.wire.assign(c.encode_buf.begin(), c.encode_buf.end());
+      c.delayed.push_back(std::move(d));
+      return;
+    }
+    case FaultKind::kClose:
+      ++stats_.faults_injected;
+      c.txq.append(rec);
+      // The reset loses the unflushed tail on purpose — the ring replays it.
+      enter_reconnect(c, "fault: injected connection close");
+      return;
+  }
+}
+
 void StreamSocketTransport::try_flush(Conn& c) {
-  while (!c.closed && !c.txq.empty()) {
+  while (!c.closed && c.fd >= 0 && !c.txq.empty()) {
     iovec iov[BufferChain::kMaxIov];
     msghdr mh{};
     mh.msg_iov = iov;
@@ -343,8 +801,13 @@ void StreamSocketTransport::try_flush(Conn& c) {
     }
     if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (w < 0 && errno == EINTR) continue;
-    c.closed = true;
-    c.close_reason = "send: " + std::string(strerror(errno));
+    const std::string why = "send: " + std::string(strerror(errno));
+    if (recoverable(c)) {
+      enter_reconnect(c, why);
+    } else {
+      c.closed = true;
+      c.close_reason = why;
+    }
     break;
   }
 }
@@ -354,29 +817,54 @@ Status StreamSocketTransport::send(int peer, Frame& f) {
   if (c == nullptr)
     return Error::make(kProtocol, "send to unknown node " +
                                       std::to_string(peer));
+  if (session_.reconnect_max_attempts > 0) service_reconnects(false);
   if (c->closed)
     return Error::make(kPeerClosed,
                        "node " + std::to_string(peer) + ": " +
                            c->close_reason);
-  if (tx_backlog(*c) >= kMaxOutboundBytes)
+  const bool keep_ring = recoverable(*c);
+  // A downed link (redialing or mid-resume) accepts sends into the replay
+  // ring only; the resume pushes them onto the fresh stream.
+  const bool down = c->fd < 0 || c->resuming;
+  if (keep_ring && c->ring_bytes >= kMaxReplayBytes)
+    return Error::make(kQueueFull, "replay ring to node " +
+                                       std::to_string(peer) +
+                                       " full (peer not acknowledging)");
+  if (!down && tx_backlog(*c) >= kMaxOutboundBytes)
     return Error::make(kQueueFull, "outbound queue to node " +
                                        std::to_string(peer) + " full");
   // Encode into the per-peer scratch (reused across sends: once its
   // capacity covers the working set the encode allocates nothing), then
   // queue the octets on the segment chain. The socket push itself is left
   // to flush()/recv() so a burst of frames shares one syscall.
+  const std::uint64_t seq = ++c->tx_seq;
   const std::size_t warmed = c->encode_buf.capacity();
   c->encode_buf.clear();
-  encode_frame_to(f, c->encode_buf);
+  encode_frame_seq_to(f, seq, c->encode_buf);
   if (warmed != 0 && c->encode_buf.capacity() == warmed)
     ++stats_.encode_pool_reuse;
-  c->txq.append(ByteSpan{c->encode_buf.data(), c->encode_buf.size()});
+  if (keep_ring) {
+    ReplayRec r;
+    r.seq = seq;
+    if (!spare_.empty()) {
+      r.wire = std::move(spare_.back());
+      spare_.pop_back();
+    }
+    r.wire.assign(c->encode_buf.begin(), c->encode_buf.end());
+    const bool was_empty = c->ring.empty();
+    c->ring_bytes += r.wire.size();
+    c->ring.push_back(std::move(r));
+    if (was_empty) c->oldest_unacked = SteadyClock::now();
+  }
+  if (!down) append_wire_record(*c);
   ++stats_.frames_sent;
   if (f.type == FrameType::TransferBatch)
     stats_.frames_batched += f.entries.size();
-  if (tx_backlog(*c) > stats_.send_queue_high_water)
-    stats_.send_queue_high_water = tx_backlog(*c);
-  if (tx_backlog(*c) >= kEagerFlushBytes) try_flush(*c);
+  if (!down && c->fd >= 0) {
+    if (tx_backlog(*c) > stats_.send_queue_high_water)
+      stats_.send_queue_high_water = tx_backlog(*c);
+    if (tx_backlog(*c) >= kEagerFlushBytes) try_flush(*c);
+  }
   if (c->closed)
     return Error::make(kPeerClosed,
                        "node " + std::to_string(peer) + ": " +
@@ -385,8 +873,39 @@ Status StreamSocketTransport::send(int peer, Frame& f) {
 }
 
 void StreamSocketTransport::flush() {
-  for (Conn& c : conns_)
+  if (session_.reconnect_max_attempts > 0) service_reconnects(false);
+  for (Conn& c : conns_) {
+    if (c.fd < 0 || c.resuming) continue;
+    release_delayed(c, true);  // a delayed tail never strands past a flush
     if (!c.txq.empty()) try_flush(c);
+  }
+}
+
+bool StreamSocketTransport::sever(int peer) {
+  Conn* c = conn_of(peer);
+  if (c == nullptr) return false;
+  if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+  if (recoverable(*c)) {
+    if (!c->waiting) enter_reconnect(*c, "connection severed");
+  } else {
+    c->closed = true;
+    c->rx_eof = true;
+    if (c->close_reason.empty()) c->close_reason = "connection severed";
+  }
+  return true;
+}
+
+void StreamSocketTransport::set_wire_faults(int peer, FaultPlan plan) {
+  Conn* c = conn_of(peer);
+  if (c == nullptr) return;
+  c->wire_faults = std::move(plan);
+  c->wire_index = 0;
+}
+
+bool StreamSocketTransport::any_pending() const noexcept {
+  for (const Conn& c : conns_)
+    if (c.pending_pos < c.pending_rx.size()) return true;
+  return false;
 }
 
 MailboxTransport::RecvOutcome StreamSocketTransport::recv(int* from,
@@ -395,27 +914,78 @@ MailboxTransport::RecvOutcome StreamSocketTransport::recv(int* from,
                                                           std::string* error) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
-  std::vector<pollfd> pfds(conns_.size());
+  std::vector<pollfd> pfds(conns_.size() + 1);
   for (;;) {
-    // Serve buffered frames first, round-robin so one peer cannot starve
-    // the rest; also flush pending writes opportunistically.
+    service_reconnects(true);
+    // Frames salvaged across a reconnect outrank everything on the new
+    // stream — they arrived first.
+    for (Conn& c : conns_) {
+      if (c.pending_pos >= c.pending_rx.size()) continue;
+      *out = std::move(c.pending_rx[c.pending_pos++]);
+      if (c.pending_pos == c.pending_rx.size()) {
+        c.pending_rx.clear();
+        c.pending_pos = 0;
+      }
+      if (out->type == FrameType::Bye) c.peer_departed = true;
+      if (from != nullptr) *from = c.node;
+      ++stats_.frames_received;
+      return RecvOutcome::kFrame;
+    }
+    // Serve buffered frames, round-robin so one peer cannot starve the
+    // rest; also flush pending writes opportunistically.
     for (std::size_t i = 0; i < conns_.size(); ++i) {
       Conn& c = conns_[(rr_ + 1 + i) % conns_.size()];
-      if (tx_backlog(c) > 0) try_flush(c);
-      std::string why;
-      switch (c.rx.next(out, &why)) {
-        case FrameReassembler::Next::kFrame:
-          if (from != nullptr) *from = c.node;
-          rr_ = (rr_ + 1 + i) % conns_.size();
-          ++stats_.frames_received;
-          return RecvOutcome::kFrame;
-        case FrameReassembler::Next::kError:
-          c.closed = true;
-          c.rx_eof = true;  // the stream is garbage — stop reading it
-          c.close_reason = why;
+      if (c.fd >= 0 && !c.resuming && tx_backlog(c) > 0) try_flush(c);
+      for (;;) {
+        std::string why;
+        const auto r = c.rx.next(out, &why);
+        if (r == FrameReassembler::Next::kNeedMore) break;
+        if (r == FrameReassembler::Next::kError) {
+          // The framing is gone — replay cannot reconstruct a stream whose
+          // byte discipline broke; this is a bug or a hostile peer.
+          permanent_close(c, why);
           break;
-        case FrameReassembler::Next::kNeedMore:
+        }
+        const std::uint64_t seq = c.rx.last_seq();
+        if (seq == 0) {  // session-control frame, consumed here
+          on_control(c, *out, /*allow_resume=*/true);
+          if (c.fd < 0 || dead(c)) break;
+          continue;
+        }
+        if (seq <= c.rx_seq) {  // replayed record we already delivered
+          ++stats_.dup_frames_dropped;
+          continue;
+        }
+        if (seq != c.rx_seq + 1) {
+          // Records vanished from the stream (wire-level loss): recover
+          // them through reconnect + replay.
+          enter_reconnect(c, "sequence gap: expected " +
+                                 std::to_string(c.rx_seq + 1) + ", got " +
+                                 std::to_string(seq));
           break;
+        }
+        c.rx_seq = seq;
+        ++c.rx_since_ack;
+        if (out->type == FrameType::Bye) c.peer_departed = true;
+        if (out->type == FrameType::Bye && session_.reconnect_max_attempts > 0 &&
+            !c.closed && recoverable(c)) {
+          // A parting Bye is acknowledged at once: the leaver's teardown
+          // lingers only until its ring drains, and the throttled idle ack
+          // would make every graceful exit pay the throttle interval.
+          Frame ack;
+          ack.type = FrameType::SessionAck;
+          ack.recv = c.rx_seq;
+          queue_control(c, ack);
+          c.rx_since_ack = 0;
+          c.last_ack = SteadyClock::now();
+          try_flush(c);
+        } else {
+          maybe_ack(c, /*idle=*/false);
+        }
+        if (from != nullptr) *from = c.node;
+        rr_ = (rr_ + 1 + i) % conns_.size();
+        ++stats_.frames_received;
+        return RecvOutcome::kFrame;
       }
     }
     // Report deaths (once per connection) — but only after the inbound half
@@ -435,8 +1005,8 @@ MailboxTransport::RecvOutcome StreamSocketTransport::recv(int* from,
     }
     // Pump the sockets. A conn stays pumpable until BOTH halves are done:
     // a send-side failure still reads (draining the peer's parting frames),
-    // a receive-side EOF still flushes what we owe the peer.
-    const auto dead = [](const Conn& c) { return c.closed && c.rx_eof; };
+    // a receive-side EOF still flushes what we owe the peer. Downed conns
+    // (fd < 0) count as live — they are being recovered.
     const auto drain_fd = [this](Conn& c) {
       std::uint8_t chunk[65536];
       bool got = false;
@@ -452,11 +1022,16 @@ MailboxTransport::RecvOutcome StreamSocketTransport::recv(int* from,
         }
         if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
         if (r < 0 && errno == EINTR) continue;
-        c.closed = true;
-        c.rx_eof = true;
-        if (c.close_reason.empty())
-          c.close_reason = r == 0 ? "connection closed"
-                                  : "read: " + std::string(strerror(errno));
+        const std::string why = r == 0
+                                    ? "connection closed"
+                                    : "read: " + std::string(strerror(errno));
+        if (recoverable(c)) {
+          enter_reconnect(c, why);
+        } else {
+          c.closed = true;
+          c.rx_eof = true;
+          if (c.close_reason.empty()) c.close_reason = why;
+        }
         break;
       }
       return got;
@@ -465,14 +1040,43 @@ MailboxTransport::RecvOutcome StreamSocketTransport::recv(int* from,
     for (const Conn& c : conns_)
       if (!dead(c)) ++live;
     if (live == 0) return RecvOutcome::kIdle;
-    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-        deadline - std::chrono::steady_clock::now());
-    const int wait = timeout_ms <= 0 ? 0
-                     : left.count() > 0 ? static_cast<int>(left.count())
-                                        : 0;
+    // Idle acknowledgements: small exchanges must prune the peer's ring
+    // too, not only kAckIntervalFrames-sized bursts.
+    for (Conn& c : conns_) maybe_ack(c, /*idle=*/true);
+    const auto now = std::chrono::steady_clock::now();
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const int budget_wait = timeout_ms <= 0 ? 0
+                            : left.count() > 0 ? static_cast<int>(left.count())
+                                               : 0;
+    // Recovery deadlines bound the sleep: a due redial, an expiring wait
+    // budget or a retransmission timeout must fire on time.
+    int wait = budget_wait;
+    if (session_.reconnect_max_attempts > 0) {
+      const auto until = [&now](SteadyClock::time_point tp) {
+        const auto d =
+            std::chrono::duration_cast<std::chrono::milliseconds>(tp - now)
+                .count();
+        return d < 0 ? 0 : static_cast<int>(std::min<long long>(d, 3600000));
+      };
+      for (const Conn& c : conns_) {
+        if (dead(c)) continue;
+        if (c.waiting) {
+          wait = std::min(wait, until(c.give_up));
+          if (c.node < self_node_) wait = std::min(wait, until(c.next_attempt));
+        } else if (c.resuming) {
+          wait = std::min(wait, until(c.give_up));
+        } else if (c.fd >= 0 && !c.closed && !c.ring.empty() &&
+                   session_.resend_timeout_ms > 0 && recoverable(c)) {
+          wait = std::min(
+              wait, until(c.oldest_unacked + std::chrono::milliseconds(
+                                                 session_.resend_timeout_ms)));
+        }
+      }
+    }
     std::size_t n = 0;
     for (Conn& c : conns_) {
-      if (dead(c)) continue;
+      if (dead(c) || c.fd < 0) continue;
       pfds[n].fd = c.fd;
       pfds[n].events = static_cast<short>(
           (c.rx_eof ? 0 : POLLIN) |
@@ -480,20 +1084,34 @@ MailboxTransport::RecvOutcome StreamSocketTransport::recv(int* from,
       pfds[n].revents = 0;
       ++n;
     }
+    std::size_t listener_at = SIZE_MAX;
+    if (listener_fd_ >= 0 && session_.reconnect_max_attempts > 0) {
+      pfds[n].fd = listener_fd_;
+      pfds[n].events = POLLIN;
+      pfds[n].revents = 0;
+      listener_at = n;
+      ++n;
+    }
     const int ready = ::poll(pfds.data(), n, wait);
     bool got_bytes = false;
     if (ready > 0) {
       std::size_t k = 0;
       for (Conn& c : conns_) {
-        if (dead(c)) continue;
+        if (dead(c) || c.fd < 0) continue;
         const short rev = pfds[k++].revents;
-        if (rev & POLLOUT) try_flush(c);
-        if (!c.rx_eof && (rev & (POLLIN | POLLHUP | POLLERR)) && drain_fd(c))
+        if ((rev & POLLOUT) && c.fd >= 0) try_flush(c);
+        if (c.fd >= 0 && !c.rx_eof && (rev & (POLLIN | POLLHUP | POLLERR)) &&
+            drain_fd(c))
           got_bytes = true;
       }
+      if (listener_at != SIZE_MAX && (pfds[listener_at].revents & POLLIN)) {
+        accept_pending();
+        got_bytes = true;  // a resume may have queued salvage/replay work
+      }
     }
-    if (!got_bytes && wait <= 0 && timeout_ms >= 0) {
+    if (!got_bytes && budget_wait <= 0 && timeout_ms >= 0) {
       // One poll pass exhausted the budget (or this was a pure poll).
+      if (any_pending()) continue;
       bool death_pending = false;
       for (const Conn& c : conns_)
         if (c.closed && c.rx_eof && !c.close_reported) death_pending = true;

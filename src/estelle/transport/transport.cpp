@@ -36,6 +36,23 @@ class LoopbackHub::Endpoint final : public MailboxTransport {
     return peers_;
   }
 
+  bool sever(int peer) override {
+    // Loopback links have no redial path, so a severed link is a permanent
+    // death: the peer observes kClosed — the abort-path half of the fault
+    // model (close-after-frame-N over a recoverable mesh exercises the
+    // other half).
+    std::lock_guard<std::mutex> lock(state_->mu);
+    bool any = false;
+    for (const int p : peers_) {
+      if (p != peer) continue;
+      link(p, node_).open = false;
+      link(node_, p).open = false;
+      any = true;
+    }
+    state_->cv.notify_all();
+    return any;
+  }
+
   Status send(int peer, Frame& f) override {
     std::unique_lock<std::mutex> lock(state_->mu);
     State::Link& l = link(peer, node_);

@@ -63,7 +63,41 @@ class MailboxTransport {
     kClosed,  ///< *from's connection died; *error describes it
   };
 
+  /// Session/recovery configuration (the PR 9 fault-tolerance layer).
+  /// configure_session() hands it to transports that can recover a broken
+  /// peer link; others ignore it. Both sides of a link must be configured
+  /// identically — the DistributedRunner derives one from its DistOptions on
+  /// every node before the membership handshake.
+  struct SessionOptions {
+    /// Redial attempts after a mid-run connection loss; 0 disables recovery
+    /// (a loss surfaces kClosed exactly as before the session layer).
+    int reconnect_max_attempts = 0;
+    /// First redial backoff; doubles per failed attempt up to the cap, with
+    /// deterministic jitter on top.
+    int backoff_initial_ms = 20;
+    int backoff_cap_ms = 1000;
+    /// Unacknowledged sent records older than this force a reconnect (the
+    /// retransmission timeout that recovers a dropped stream tail).
+    int resend_timeout_ms = 1000;
+    /// Specification fingerprint carried by the HelloResume handshake; a
+    /// peer resuming with a different value is refused.
+    std::uint64_t fingerprint = 0;
+  };
+
   virtual ~MailboxTransport() = default;
+
+  /// Install the session/recovery configuration. Default: ignored (the
+  /// transport cannot recover links; loss keeps surfacing kClosed).
+  virtual void configure_session(const SessionOptions&) {}
+
+  /// Testing hook: abruptly break the link to `peer` as a network fault
+  /// would (both directions, no farewell). Returns false when the transport
+  /// has no severable link. A session-enabled transport treats its own
+  /// severed link as a transient failure and recovers it.
+  virtual bool sever(int peer) {
+    (void)peer;
+    return false;
+  }
 
   /// Peer node ids this endpoint can reach (excludes the own node).
   [[nodiscard]] virtual const std::vector<int>& peers() const noexcept = 0;
@@ -86,10 +120,16 @@ class MailboxTransport {
   virtual RecvOutcome recv(int* from, Frame* out, int timeout_ms,
                            std::string* error) = 0;
 
-  [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] virtual const TransportStats& stats() const noexcept {
+    return stats_;
+  }
   /// Counters the *runner* owns semantically but that live with the frames
-  /// (null-rounds serviced) are added through here.
-  [[nodiscard]] TransportStats& mutable_stats() noexcept { return stats_; }
+  /// (null-rounds serviced) are added through here. Virtual so a decorator
+  /// (FaultInjectingTransport) can keep one canonical counter block on the
+  /// transport it wraps.
+  [[nodiscard]] virtual TransportStats& mutable_stats() noexcept {
+    return stats_;
+  }
 
  protected:
   TransportStats stats_;

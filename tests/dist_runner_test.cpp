@@ -28,6 +28,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -41,6 +42,7 @@
 #include "estelle/module.hpp"
 #include "estelle/trace.hpp"
 #include "estelle/transport/dist_runner.hpp"
+#include "estelle/transport/fault_transport.hpp"
 #include "estelle/transport/socket_transport.hpp"
 #include "estelle/transport/transport.hpp"
 #include "random_spec_gen.hpp"
@@ -115,11 +117,21 @@ struct NodeOutcome {
   std::vector<std::string> local_world;  // lines for locally-owned modules
 };
 
+/// Session knobs tuned for fault tests: real recovery, test-speed waits.
+void fast_session(DistOptions& opts) {
+  opts.reconnect_max_attempts = 6;
+  opts.backoff_initial_ms = 5;
+  opts.backoff_cap_ms = 40;
+  opts.resend_timeout_ms = 150;
+  opts.heartbeat_interval_ms = 50;
+}
+
 /// Run node `node` of a `nodes`-wide group over `transport` on the world of
 /// `seed`, recording the stamped trace and the locally-owned module lines.
-NodeOutcome run_generated_node(std::uint64_t seed, int node, int nodes,
-                               std::shared_ptr<MailboxTransport> transport,
-                               bool batch_transfers = true) {
+NodeOutcome run_generated_node(
+    std::uint64_t seed, int node, int nodes,
+    std::shared_ptr<MailboxTransport> transport, bool batch_transfers = true,
+    const std::function<void(DistOptions&)>& tweak = {}) {
   specgen::GeneratedWorld g = specgen::generate(seed);
   NodeOutcome out;
   DistOptions opts;
@@ -128,6 +140,7 @@ NodeOutcome run_generated_node(std::uint64_t seed, int node, int nodes,
   opts.transport = std::move(transport);
   opts.gate_timeout_ms = 20000;
   opts.batch_transfers = batch_transfers;
+  if (tweak) tweak(opts);
   opts.trace_hook = [&out](std::uint64_t r, int s, Module& m,
                            const Transition& t, SimTime) {
     out.events.push_back({r, s, m.path() + "/" + t.name});
@@ -618,6 +631,11 @@ bool parse_child_outcome(const std::string& path, NodeOutcome* out,
       in >> out->report.fired;
     } else if (tag == "T") {
       in >> out->report.transport.frames_sent;
+    } else if (tag == "S") {
+      in >> out->report.transport.reconnects >>
+          out->report.transport.frames_replayed >>
+          out->report.transport.dup_frames_dropped >>
+          out->report.transport.faults_injected;
     } else if (tag == "E") {
       DistEvent e;
       in >> e.round >> e.shard;
@@ -634,6 +652,82 @@ bool parse_child_outcome(const std::string& path, NodeOutcome* out,
   out->report.reason =
       quiescent ? StopReason::Quiescent : StopReason::Aborted;
   return quiescent;
+}
+
+/// The wire-record fault plan node `node` injects toward its peer for fault
+/// seed `fault_seed`: steady drops/dups/delays both ways, plus exactly one
+/// mid-run close per run (on the node the seed's parity picks) — the
+/// acceptance shape: frame drops + one socket close, every seed.
+FaultPlan sweep_plan(std::uint64_t fault_seed, int node) {
+  const std::int64_t close_after =
+      node == static_cast<int>(fault_seed % 2)
+          ? static_cast<std::int64_t>(8 + fault_seed % 24)
+          : -1;
+  return FaultPlan::seeded(fault_seed * 977 + static_cast<std::uint64_t>(node),
+                           400, 25, 20, 12, close_after);
+}
+
+/// Child half of the seeded-fault differential: like run_child_node, but the
+/// mesh carries a wire-record fault plan and the runner uses the fast
+/// session knobs. Adds an "S" stats line so the parent can prove recovery
+/// actually ran.
+void run_fault_child_node(std::uint64_t seed, std::uint64_t fault_seed,
+                          int node, const std::string& dir,
+                          const std::string& out_path) {
+  specgen::GeneratedWorld g = specgen::generate(seed);
+  auto mesh = StreamSocketTransport::unix_mesh(node, 2, dir);
+  if (!mesh.ok()) {
+    std::ofstream f(out_path);
+    f << "R meshfail: " << mesh.error().message << "\n";
+    f.close();
+    ::_exit(2);
+  }
+  mesh.value()->set_wire_faults(1 - node, sweep_plan(fault_seed, node));
+  std::vector<DistEvent> events;
+  DistOptions opts;
+  opts.node = node;
+  opts.nodes = 2;
+  opts.transport = std::shared_ptr<MailboxTransport>(std::move(mesh.value()));
+  opts.gate_timeout_ms = 20000;
+  fast_session(opts);
+  opts.trace_hook = [&events](std::uint64_t r, int s, Module& m,
+                              const Transition& t, SimTime) {
+    events.push_back({r, s, m.path() + "/" + t.name});
+  };
+  ExecutorConfig cfg;
+  cfg.kind = ExecutorKind::Distributed;
+  cfg.backend_options = opts;
+  auto executor = make_executor(*g.spec, cfg);
+  const RunReport rep = executor->run();
+  // ::_exit skips destructors; tear down every owner of the transport
+  // explicitly (the executor AND the shared_ptr copies in opts/cfg) so the
+  // session linger runs — a lost parting Bye is replayed to the peer here,
+  // and without it the peer would redial a process that no longer exists.
+  executor.reset();
+  cfg = ExecutorConfig{};
+  opts.transport.reset();
+
+  std::ofstream f(out_path);
+  f << "R "
+    << (rep.reason == StopReason::Quiescent ? std::string("quiescent")
+                                            : "other: " + rep.error)
+    << "\n";
+  f << "F " << rep.fired << "\n";
+  f << "T " << rep.transport.frames_sent << "\n";
+  f << "S " << rep.transport.reconnects << " "
+    << rep.transport.frames_replayed << " "
+    << rep.transport.dup_frames_dropped << " "
+    << rep.transport.faults_injected << "\n";
+  for (const DistEvent& e : events)
+    f << "E " << e.round << " " << e.shard << " " << e.label << "\n";
+  ConflictAnalysis analysis(*g.spec);
+  for (int s = 0; s < analysis.shard_count(); ++s) {
+    if (s % 2 != node) continue;
+    for (Module* m : analysis.shards()[static_cast<std::size_t>(s)].modules)
+      f << "W " << module_line(*m) << "\n";
+  }
+  f.close();
+  ::_exit(f.good() ? 0 : 3);
 }
 
 TEST(DistRunner, MultiProcessUnixSocketDifferential) {
@@ -693,6 +787,189 @@ TEST(DistRunner, MultiProcessUnixSocketDifferential) {
     if (HasFatalFailure()) return;
   }
   if (n >= 50) EXPECT_GE(swept, 10);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Seeded wire faults: recovery preserves the differential
+
+TEST(DistRunner, WireFaultRecoveryPreservesUnixDifferential) {
+  // Thread-based (TSan-covered) half of the fault sweep: one fixed generated
+  // world, several fault seeds, drops + dups + delays + one mid-run close
+  // injected below the session sequence numbers — the merged trace, local
+  // worlds and fired counts must still equal Sequential, and the session
+  // counters must prove recovery (not luck) produced that equality.
+  std::uint64_t world_seed = 0;
+  for (std::uint64_t s = 1; s <= 100 && world_seed == 0; ++s)
+    if (eligible_for_two_nodes(s)) world_seed = s;
+  ASSERT_NE(world_seed, 0u);
+  const SeqBaseline seq = sequential_baseline(world_seed);
+
+  std::uint64_t faults = 0, reconnects = 0, replayed = 0;
+  for (std::uint64_t fs = 1; fs <= 6; ++fs) {
+    SCOPED_TRACE("fault seed " + std::to_string(fs));
+    const std::string dir = make_temp_dir();
+    ASSERT_FALSE(dir.empty());
+    std::vector<NodeOutcome> nodes(2);
+    std::vector<std::string> mesh_errors(2);
+    std::vector<std::thread> threads;
+    for (int node = 0; node < 2; ++node)
+      threads.emplace_back([&, node] {
+        auto mesh = StreamSocketTransport::unix_mesh(node, 2, dir);
+        if (!mesh.ok()) {
+          mesh_errors[static_cast<std::size_t>(node)] = mesh.error().message;
+          return;
+        }
+        mesh.value()->set_wire_faults(1 - node, sweep_plan(fs, node));
+        nodes[static_cast<std::size_t>(node)] = run_generated_node(
+            world_seed, node, 2,
+            std::shared_ptr<MailboxTransport>(std::move(mesh.value())), true,
+            fast_session);
+      });
+    for (std::thread& t : threads) t.join();
+    std::filesystem::remove_all(dir);
+    ASSERT_TRUE(mesh_errors[0].empty()) << mesh_errors[0];
+    ASSERT_TRUE(mesh_errors[1].empty()) << mesh_errors[1];
+
+    expect_matches_baseline(seq, nodes);
+    for (const NodeOutcome& n : nodes) {
+      faults += n.report.transport.faults_injected;
+      reconnects += n.report.transport.reconnects;
+      replayed += n.report.transport.frames_replayed;
+    }
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GT(faults, 0u) << "the sweep never injected a fault";
+  EXPECT_GT(reconnects, 0u) << "no run ever recovered a connection";
+  EXPECT_GT(replayed, 0u) << "recovery never replayed a lost record";
+}
+
+TEST(DistRunner, WireFaultRecoveryOnTcpPipeline) {
+  // The same recovery machinery over real TCP: injected drops and a mid-run
+  // close on the producer's stream must not lose or reorder a single token.
+  static constexpr int kBudget = 25;
+  static constexpr std::uint16_t kBasePort = 45317;
+  RunReport r0, r1;
+  int got = -1;
+  std::string mesh_error;
+  std::thread producer([&] {
+    PipeWorld world(kBudget);
+    auto mesh = StreamSocketTransport::tcp_mesh(0, 2, kBasePort);
+    if (!mesh.ok()) {
+      mesh_error = mesh.error().message;
+      return;
+    }
+    mesh.value()->set_wire_faults(
+        1, FaultPlan::seeded(9001, 400, 30, 20, 12, /*close_after=*/12));
+    DistOptions opts;
+    opts.node = 0;
+    opts.nodes = 2;
+    opts.transport =
+        std::shared_ptr<MailboxTransport>(std::move(mesh.value()));
+    fast_session(opts);
+    r0 = make_pipe_executor(world, std::move(opts))->run();
+  });
+  std::thread consumer([&] {
+    PipeWorld world(kBudget);
+    auto mesh = StreamSocketTransport::tcp_mesh(1, 2, kBasePort);
+    if (!mesh.ok()) {
+      mesh_error = mesh.error().message;
+      return;
+    }
+    mesh.value()->set_wire_faults(0,
+                                  FaultPlan::seeded(9002, 400, 30, 20, 12));
+    DistOptions opts;
+    opts.node = 1;
+    opts.nodes = 2;
+    opts.transport =
+        std::shared_ptr<MailboxTransport>(std::move(mesh.value()));
+    fast_session(opts);
+    r1 = make_pipe_executor(world, std::move(opts))->run();
+    got = *world.got;
+  });
+  producer.join();
+  consumer.join();
+  ASSERT_TRUE(mesh_error.empty()) << mesh_error;
+  EXPECT_EQ(r0.reason, StopReason::Quiescent) << r0.error;
+  EXPECT_EQ(r1.reason, StopReason::Quiescent) << r1.error;
+  EXPECT_EQ(got, kBudget) << "tokens lost across injected TCP faults";
+  EXPECT_EQ(r0.fired + r1.fired, static_cast<std::uint64_t>(2 * kBudget));
+  EXPECT_GT(r0.transport.faults_injected + r1.transport.faults_injected, 0u);
+  EXPECT_GT(r0.transport.reconnects + r1.transport.reconnects, 0u);
+}
+
+TEST(DistRunner, ForkedSeededFaultDifferentialSweep) {
+#ifdef MCAM_TSAN_BUILD
+  GTEST_SKIP() << "fork-based fault differential is covered outside TSan";
+#else
+  // The acceptance sweep: >= 100 fault seeds, two real processes over a
+  // Unix-socket mesh, every run seeing seeded frame drops plus one mid-run
+  // socket close — and every run must still complete quiescent with merged
+  // trace, worlds and fired counts equal to Sequential.
+  std::uint64_t world_seed = 0;
+  for (std::uint64_t s = 1; s <= 100 && world_seed == 0; ++s)
+    if (eligible_for_two_nodes(s)) world_seed = s;
+  ASSERT_NE(world_seed, 0u);
+  const SeqBaseline seq = sequential_baseline(world_seed);
+  const int fault_seeds = std::max(100, spec_count() > 50 ? spec_count() : 0);
+
+  std::uint64_t faults = 0, reconnects = 0, replayed = 0, dups = 0;
+  for (std::uint64_t fs = 1; fs <= static_cast<std::uint64_t>(fault_seeds);
+       ++fs) {
+    SCOPED_TRACE("fault seed " + std::to_string(fs));
+    const std::string dir = make_temp_dir();
+    ASSERT_FALSE(dir.empty());
+
+    std::vector<pid_t> pids;
+    for (int node = 0; node < 2; ++node) {
+      const pid_t pid = ::fork();
+      ASSERT_GE(pid, 0);
+      if (pid == 0) {
+        run_fault_child_node(world_seed, fs, node, dir,
+                             dir + "/result" + std::to_string(node));
+        ::_exit(4);  // unreachable
+      }
+      pids.push_back(pid);
+    }
+    for (const pid_t pid : pids) {
+      int status = 0;
+      ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+      ASSERT_TRUE(WIFEXITED(status)) << "child crashed";
+      ASSERT_EQ(WEXITSTATUS(status), 0);
+    }
+
+    std::vector<NodeOutcome> nodes(2);
+    for (int node = 0; node < 2; ++node) {
+      std::string why;
+      ASSERT_TRUE(parse_child_outcome(dir + "/result" + std::to_string(node),
+                                      &nodes[static_cast<std::size_t>(node)],
+                                      &why))
+          << "node " << node << ": " << why;
+    }
+    std::filesystem::remove_all(dir);
+
+    EXPECT_EQ(nodes[0].report.fired + nodes[1].report.fired, seq.fired);
+    EXPECT_EQ(merge_traces(nodes), seq.trace)
+        << "fault-injected merged trace diverged";
+    for (const NodeOutcome& node : nodes) {
+      for (const std::string& line : node.local_world) {
+        const std::string path = line.substr(0, line.find('='));
+        const auto it = seq.world.find(path);
+        ASSERT_NE(it, seq.world.end()) << path;
+        EXPECT_EQ(line, it->second) << "local world diverged at " << path;
+      }
+      faults += node.report.transport.faults_injected;
+      reconnects += node.report.transport.reconnects;
+      replayed += node.report.transport.frames_replayed;
+      dups += node.report.transport.dup_frames_dropped;
+    }
+    if (HasFatalFailure()) return;
+  }
+  // The sweep is vacuous unless the recovery machinery demonstrably ran.
+  EXPECT_GT(faults, 0u);
+  EXPECT_GT(reconnects, 0u);
+  EXPECT_GT(replayed, 0u);
+  EXPECT_GT(dups, 0u) << "no duplicate was ever discarded by sequence";
 #endif
 }
 

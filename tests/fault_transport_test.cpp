@@ -1,0 +1,205 @@
+// FaultPlan / FaultInjectingTransport (transport/fault_transport.hpp): the
+// seeded fault machinery the recovery suites lean on.
+//
+// Pinned here:
+//   * FaultPlan::seeded is a pure function of its seed — the same seed
+//     always derives the same schedule (a failing differential seed is
+//     replayable verbatim), different seeds diverge, and the close_after
+//     entry is present wherever it lands relative to the horizon;
+//   * the decorator applies a schedule deterministically over a live
+//     transport: Drop consumes the frame, Duplicate delivers it twice,
+//     Delay reorders it past later sends but flush() never strands it,
+//     Close severs the wrapped link right after the frame leaves;
+//   * every injected fault is counted in the wrapped transport's
+//     TransportStats::faults_injected.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "estelle/transport/fault_transport.hpp"
+#include "estelle/transport/transport.hpp"
+
+namespace mcam::estelle {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultPlan: the schedule is the seed
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const FaultPlan a = FaultPlan::seeded(seed, 512, 40, 40, 30, 100);
+    const FaultPlan b = FaultPlan::seeded(seed, 512, 40, 40, 30, 100);
+    ASSERT_EQ(a.actions.size(), b.actions.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < a.actions.size(); ++i) {
+      EXPECT_EQ(a.actions[i].index, b.actions[i].index);
+      EXPECT_EQ(a.actions[i].kind, b.actions[i].kind);
+      EXPECT_EQ(a.actions[i].delay_frames, b.actions[i].delay_frames);
+    }
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  // With ~11% fault density over 512 indices, two seeds agreeing on the full
+  // schedule would be astronomically unlikely — any divergence counts.
+  const FaultPlan a = FaultPlan::seeded(1, 512, 40, 40, 30);
+  const FaultPlan b = FaultPlan::seeded(2, 512, 40, 40, 30);
+  bool differ = a.actions.size() != b.actions.size();
+  for (std::size_t i = 0; !differ && i < a.actions.size(); ++i)
+    differ = a.actions[i].index != b.actions[i].index ||
+             a.actions[i].kind != b.actions[i].kind;
+  EXPECT_TRUE(differ);
+}
+
+TEST(FaultPlan, ScheduleRespectsRatesAndClose) {
+  const FaultPlan all = FaultPlan::seeded(7, 200, 1000, 0, 0);
+  EXPECT_EQ(all.actions.size(), 200u);  // drop rate 1000‰ ⇒ every frame
+  for (const FaultAction& a : all.actions) {
+    EXPECT_EQ(a.kind, FaultKind::kDrop);
+  }
+  const FaultPlan none = FaultPlan::seeded(7, 200, 0, 0, 0);
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.at(13).kind, FaultKind::kNone);
+
+  // close_after lands as a kClose entry whether inside or past the horizon.
+  const FaultPlan inside = FaultPlan::seeded(7, 200, 0, 0, 0, 50);
+  EXPECT_EQ(inside.at(50).kind, FaultKind::kClose);
+  const FaultPlan past = FaultPlan::seeded(7, 200, 0, 0, 0, 400);
+  EXPECT_EQ(past.at(400).kind, FaultKind::kClose);
+}
+
+// ---------------------------------------------------------------------------
+// Decorator behavior over a live loopback link
+
+struct Pair {
+  LoopbackHub hub{2};
+  std::shared_ptr<MailboxTransport> inner0;
+  std::unique_ptr<MailboxTransport> ep1;
+  std::unique_ptr<FaultInjectingTransport> faulty;  // wraps node 0's endpoint
+
+  Pair() {
+    inner0 = std::shared_ptr<MailboxTransport>(hub.endpoint(0));
+    ep1 = hub.endpoint(1);
+    faulty = std::make_unique<FaultInjectingTransport>(inner0);
+  }
+
+  common::Status send_marker(std::uint64_t round) {
+    Frame f;
+    f.type = FrameType::RoundDone;
+    f.node = 0;
+    f.round = round;
+    return faulty->send(1, f);
+  }
+
+  /// Drain node 1's inbound queue, returning the received round markers in
+  /// delivery order ("" entries never occur — kClosed ends the drain).
+  std::vector<std::uint64_t> drain(bool* closed = nullptr) {
+    std::vector<std::uint64_t> rounds;
+    Frame in;
+    int from = 0;
+    std::string err;
+    for (;;) {
+      const auto rc = ep1->recv(&from, &in, 0, &err);
+      if (rc == MailboxTransport::RecvOutcome::kFrame) {
+        rounds.push_back(in.round);
+        continue;
+      }
+      if (rc == MailboxTransport::RecvOutcome::kClosed && closed != nullptr)
+        *closed = true;
+      return rounds;
+    }
+  }
+};
+
+TEST(FaultInjectingTransport, DropConsumesExactlyTheScheduledFrame) {
+  Pair p;
+  FaultPlan plan;
+  plan.actions = {{1, FaultKind::kDrop, 1}};
+  p.faulty->set_plan(1, std::move(plan));
+  for (std::uint64_t r = 1; r <= 4; ++r)
+    ASSERT_TRUE(p.send_marker(r).ok());
+  p.faulty->flush();
+  EXPECT_EQ(p.drain(), (std::vector<std::uint64_t>{1, 3, 4}));
+  EXPECT_EQ(p.faulty->stats().faults_injected, 1u);
+}
+
+TEST(FaultInjectingTransport, DuplicateDeliversTwice) {
+  Pair p;
+  FaultPlan plan;
+  plan.actions = {{0, FaultKind::kDuplicate, 1}};
+  p.faulty->set_plan(1, std::move(plan));
+  ASSERT_TRUE(p.send_marker(1).ok());
+  ASSERT_TRUE(p.send_marker(2).ok());
+  p.faulty->flush();
+  EXPECT_EQ(p.drain(), (std::vector<std::uint64_t>{1, 1, 2}));
+  EXPECT_EQ(p.faulty->stats().faults_injected, 1u);
+}
+
+TEST(FaultInjectingTransport, DelayReordersButFlushNeverStrands) {
+  Pair p;
+  FaultPlan plan;
+  plan.actions = {{0, FaultKind::kDelay, 2}};  // held past the next 2 sends
+  p.faulty->set_plan(1, std::move(plan));
+  for (std::uint64_t r = 1; r <= 3; ++r)
+    ASSERT_TRUE(p.send_marker(r).ok());
+  EXPECT_EQ(p.drain(), (std::vector<std::uint64_t>{2, 3, 1}))
+      << "frame 1 must re-enter the stream after its release index";
+
+  // A delayed tail with no subsequent sends leaves at the flush boundary.
+  FaultPlan tail;
+  tail.actions = {{3, FaultKind::kDelay, 5}};
+  p.faulty->set_plan(1, std::move(tail));
+  ASSERT_TRUE(p.send_marker(9).ok());
+  EXPECT_TRUE(p.drain().empty());
+  p.faulty->flush();
+  EXPECT_EQ(p.drain(), (std::vector<std::uint64_t>{9}));
+  EXPECT_EQ(p.faulty->stats().faults_injected, 2u);
+}
+
+TEST(FaultInjectingTransport, CloseSeversTheInnerLinkAfterTheFrame) {
+  Pair p;
+  FaultPlan plan;
+  plan.actions = {{1, FaultKind::kClose, 1}};
+  p.faulty->set_plan(1, std::move(plan));
+  ASSERT_TRUE(p.send_marker(1).ok());
+  (void)p.send_marker(2);  // leaves, then the link dies under it
+  p.faulty->flush();
+  bool closed = false;
+  const std::vector<std::uint64_t> got = p.drain(&closed);
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{1, 2}))
+      << "the close fires after the scheduled frame is on the wire";
+  EXPECT_TRUE(closed) << "a severed loopback link must surface kClosed";
+  EXPECT_EQ(p.faulty->stats().faults_injected, 1u);
+}
+
+TEST(FaultInjectingTransport, SeededScheduleIsDeterministicEndToEnd) {
+  // Same seed, same traffic ⇒ byte-identical delivery order, twice.
+  const auto run_once = [] {
+    Pair p;
+    p.faulty->set_plan(1, FaultPlan::seeded(42, 64, 120, 120, 120));
+    for (std::uint64_t r = 1; r <= 40; ++r) {
+      if (!p.send_marker(r).ok()) break;
+    }
+    p.faulty->flush();
+    return p.drain();
+  };
+  const std::vector<std::uint64_t> first = run_once();
+  const std::vector<std::uint64_t> second = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, (std::vector<std::uint64_t>{}));  // something arrived
+}
+
+TEST(FaultInjectingTransport, UnplannedPeersPassThroughUntouched) {
+  Pair p;  // no plan installed at all
+  for (std::uint64_t r = 1; r <= 5; ++r)
+    ASSERT_TRUE(p.send_marker(r).ok());
+  p.faulty->flush();
+  EXPECT_EQ(p.drain(), (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(p.faulty->stats().faults_injected, 0u);
+}
+
+}  // namespace
+}  // namespace mcam::estelle
