@@ -300,6 +300,15 @@ struct FreeRunningStats {
 /// delivered; heartbeats counts liveness RoundDone frames the runner sent
 /// while waiting on a gate; faults_injected counts frames a fault plan
 /// dropped/duplicated/delayed/closed on purpose.
+///
+/// The node-parallel counters quantify the PR 10 in-node dispatch (filled
+/// by the runner even when the node has no transport — a single-node group
+/// still parallelizes): node_workers is the node's effective worker width
+/// (resolved DistOptions::worker_count, capped at the local shard count);
+/// parallel_shard_rounds counts node rounds executed as WorkerPool
+/// continuation tasks (width >= 2) instead of the sequential per-node loop;
+/// io_overlap_polls counts transport pump calls completed while shard tasks
+/// were in flight — the compute/I-O overlap the dispatch buys.
 struct TransportStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_received = 0;
@@ -318,6 +327,9 @@ struct TransportStats {
   std::uint64_t dup_frames_dropped = 0;
   std::uint64_t heartbeats = 0;
   std::uint64_t faults_injected = 0;
+  std::uint64_t node_workers = 0;
+  std::uint64_t parallel_shard_rounds = 0;
+  std::uint64_t io_overlap_polls = 0;
 };
 
 /// Per-module firing summary, published into RunReport by a MetricsObserver

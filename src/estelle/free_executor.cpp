@@ -4,6 +4,7 @@
 
 #include "estelle/ready_set.hpp"
 #include "estelle/sched.hpp"
+#include "estelle/shard_round.hpp"
 
 namespace mcam::estelle {
 
@@ -621,40 +622,6 @@ void FreeRunningExecutor::log_push(Slot& slot, const FiredEntry& entry) {
   }
 }
 
-void FreeRunningExecutor::execute_round(int s, Slot& slot, ShardState& shard,
-                                        std::uint64_t round) {
-  // Same virtual-cost arithmetic as the sequential scheduler and the epoch
-  // path: scan cost for the guards this round's collection examined, then
-  // per-firing scheduling and execution costs. Outputs to foreign shards
-  // detour into their mailboxes, stamped with the round-start clock and this
-  // round's number.
-  ShardExecutionScope scope(s, shard.clock, round);
-  const std::vector<FiringCandidate>& cands = shard.ready.candidates();
-  const SimTime scan_cost{scan_per_guard_.ns *
-                          static_cast<std::int64_t>(shard.ready.round_guards())};
-  shard.clock += scan_cost;
-  slot.sched += scan_cost;
-  slot.cands += cands.size();
-  const bool announce = free_announce_.load(std::memory_order_relaxed);
-  std::uint64_t fired_now = 0;
-  for (const FiringCandidate& c : cands) {
-    // The sequential revalidation discipline: an earlier firing of this
-    // round (same shard, same thread) may have consumed the state.
-    if (!is_fireable(*c.transition, *c.module, shard.clock)) continue;
-    shard.clock += sched_per_transition_;
-    slot.sched += sched_per_transition_;
-    shard.clock += c.transition->cost;
-    slot.busy += c.transition->cost;
-    if (announce) log_push(slot, {c, shard.clock, round});
-    fire(c, shard.clock, nullptr);
-    ++fired_now;
-  }
-  slot.fired += fired_now;
-  ++slot.rounds;
-  shard.fired += fired_now;
-  ++shard.rounds;
-}
-
 void FreeRunningExecutor::shard_loop(int s, Slot& slot, ShardState& shard,
                                      const ShardInfo& info) {
   for (;;) {
@@ -694,33 +661,35 @@ void FreeRunningExecutor::shard_loop(int s, Slot& slot, ShardState& shard,
     }
     if (stopped) return;
 
-    // Accept everything sent before this round; later-stamped arrivals wait
-    // (min_future remembers the earliest so an idle shard can leap to it).
-    SimTime wm = shard.clock;
+    // The shared continuation engine (shard_round.hpp): drain <= r-1,
+    // collect / leap / park, fire with revalidation, log announcements into
+    // this slot's SPSC ring. min_future remembers the earliest later-stamped
+    // parked arrival so an idle shard can leap to it below.
     std::uint64_t min_future = kAllRounds;
-    for (InteractionPoint* ip : slot.boundary)
-      ip->drain_transfers_until(r - 1, &wm, &min_future);
-    if (wm > shard.clock) shard.clock = wm;
-
-    SimTime clock = shard.clock;
-    const ReadyScope::RoundAction action = shard.ready.next_round(
-        &clock, SimTime{session_deadline_ns_.load(std::memory_order_relaxed)});
-    slot.guards += shard.ready.round_guards();
-    if (shard.ready.round_allocated()) ++slot.alloc_rounds;
+    ContinuationDelta delta;
+    const ReadyScope::RoundAction action = continuation_round(
+        s, shard, slot.boundary, r,
+        SimTime{session_deadline_ns_.load(std::memory_order_relaxed)},
+        info.system_module, free_announce_.load(std::memory_order_relaxed),
+        delta, &min_future,
+        [this, &slot, r](const FiringCandidate& c, SimTime at) {
+          log_push(slot, {c, at, r});
+        });
+    slot.rounds += delta.rounds;
+    slot.fired += delta.fired;
+    slot.guards += delta.guards;
+    slot.cands += delta.cands;
+    slot.alloc_rounds += delta.alloc_rounds;
+    slot.busy += delta.busy;
+    slot.sched += delta.sched;
 
     switch (action) {
       case ReadyScope::RoundAction::Fire:
-        if (verify_)
-          verify_against_full_scan({info.system_module}, shard.clock,
-                                   shard.ready.candidates());
-        execute_round(s, slot, shard, r);
         complete_round(slot, r);
         break;
       case ReadyScope::RoundAction::Advance:
         // Empty round leaping to the next delay deadline — counts as a
-        // global round (the sequential scheduler's idle round), charges no
-        // scan cost, fires nothing.
-        shard.clock = clock;
+        // global round (the sequential scheduler's idle round).
         complete_round(slot, r);
         break;
       case ReadyScope::RoundAction::Park: {

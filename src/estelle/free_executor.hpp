@@ -122,8 +122,8 @@ class FreeRunningExecutor final : public ShardedExecutor,
     DeadlineParked,  ///< shard clock pinned at the run deadline
   };
 
-  /// One announced firing: what run_shard_round logs, replayed to observers
-  /// by the run thread in global (round, shard) order.
+  /// One announced firing: what the shard's continuation round logs,
+  /// replayed to observers by the run thread in global (round, shard) order.
   struct FiredEntry {
     FiringCandidate candidate;
     SimTime at{};
@@ -195,7 +195,6 @@ class FreeRunningExecutor final : public ShardedExecutor,
   // Worker-side (shard continuation):
   void shard_main(int s);
   void shard_loop(int s, Slot& slot, ShardState& shard, const ShardInfo& info);
-  void execute_round(int s, Slot& slot, ShardState& shard, std::uint64_t round);
   void complete_round(Slot& slot, std::uint64_t round);
   void log_push(Slot& slot, const FiredEntry& entry);
   bool gate_wait(Slot& slot, Slot& target, int target_id, std::uint64_t need);

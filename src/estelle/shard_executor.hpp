@@ -94,6 +94,20 @@ class ShardedExecutor : public ExecutorBase {
     SimTime at{};
   };
 
+  /// Stat deltas of one continuation round (continuation_round below).
+  /// Accumulated by the executing thread with no shared-counter writes; the
+  /// caller folds them into SchedulerStats / its slot counters at a point
+  /// where it owns them (after a pool quiesce, or inline).
+  struct ContinuationDelta {
+    std::uint64_t rounds = 0;  // rounds that fired (stats_.rounds semantics)
+    std::uint64_t fired = 0;
+    std::uint64_t guards = 0;
+    std::uint64_t cands = 0;
+    std::uint64_t alloc_rounds = 0;
+    SimTime busy{};
+    SimTime sched{};
+  };
+
   struct ShardState {
     SimTime clock{};
     std::uint64_t fired = 0;
@@ -119,6 +133,25 @@ class ShardedExecutor : public ExecutorBase {
     SimTime epoch_sched{};
     std::uint64_t epoch_fired = 0;
   };
+
+  /// One FreeRunning-style continuation round for one shard: drain the
+  /// boundary mailboxes up to round r-1 (watermark rule), pick the round
+  /// action from the persistent ready scope, and on Fire execute the
+  /// revalidated firing set under a ShardExecutionScope stamped
+  /// (shard, clock, r). When `announce`, `log(candidate, fire_time)` is
+  /// called for every actual firing — callers route it into their own
+  /// announcement channel (the free-running SPSC ring, the distributed
+  /// fired_log). `min_future`, when non-null, receives the earliest
+  /// later-stamped parked arrival (kAllRounds when none) so an idle caller
+  /// can leap to it. Defined in shard_round.hpp; shared by the free-running
+  /// shard loop and the distributed node-parallel round so the dispatch
+  /// semantics cannot diverge.
+  template <typename LogFn>
+  ReadyScope::RoundAction continuation_round(
+      int shard_id, ShardState& shard,
+      const std::vector<InteractionPoint*>& boundary, std::uint64_t r,
+      SimTime deadline_cap, Module* system_module, bool announce,
+      ContinuationDelta& delta, std::uint64_t* min_future, LogFn&& log);
 
   bool step() override;
   void decorate_report(RunReport& report) override;

@@ -4,10 +4,12 @@
 #include <any>
 #include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "estelle/ready_set.hpp"
 #include "estelle/sched.hpp"
+#include "estelle/shard_round.hpp"
 
 namespace mcam::estelle {
 
@@ -348,14 +350,15 @@ void DistributedRunner::on_frame(int from, Frame& f) {
       p->quiescent = f.quiescent;
       return;
     case FrameType::Probe: {
-      Frame ack;
-      ack.type = FrameType::ProbeAck;
-      ack.node = static_cast<std::uint32_t>(opts_.node);
-      ack.epoch = f.epoch;
-      ack.quiescent = ran_any_round_ && last_quiescent_ && !transfers_pending();
-      ack.sent = transfers_sent_;
-      ack.recv = transfers_recv_;
-      if (send_frame(from, ack)) transport_->flush();
+      if (in_parallel_round_) {
+        // Mid-parallel-round the quiescence verdict is incoherent: the
+        // overlapped pump may have drained fresh transfers into mailboxes
+        // while last_quiescent_ still describes the previous round. Answer
+        // after this round's frames are out (flush_deferred_probes).
+        deferred_probes_.push_back({from, f.epoch});
+        return;
+      }
+      answer_probe(from, f.epoch);
       return;
     }
     case FrameType::ProbeAck:
@@ -502,81 +505,140 @@ bool DistributedRunner::gate(std::uint64_t need) {
   }
 }
 
+int DistributedRunner::node_parallel_width() const noexcept {
+  const int shards = static_cast<int>(local_shards_.size());
+  if (shards <= 1) return 1;
+  return std::min(effective_worker_width(opts_.worker_count), shards);
+}
+
+void DistributedRunner::run_one_shard(std::size_t pos, std::uint64_t r,
+                                      bool announce) {
+  const int s = local_shards_[pos];
+  ShardState& shard = shards_[static_cast<std::size_t>(s)];
+  shard_worked_[pos] = 0;
+  shard_deltas_[pos] = ContinuationDelta{};
+  // Marks produced while this shard drains/collects/fires route into its
+  // own scope, exactly like a free-running shard thread.
+  LocalReadyScopeBinding binding(shard.ready, s);
+  const ReadyScope::RoundAction action = continuation_round(
+      s, shard, boundary_[pos], r, run_deadline_,
+      analysis_->shards()[static_cast<std::size_t>(s)].system_module, announce,
+      shard_deltas_[pos], nullptr,
+      [&shard](const FiringCandidate& c, SimTime at) {
+        shard.fired_log.push_back({c, at});
+      });
+  // Fire and Advance (delay leap) both count as local work — an empty
+  // round, but not an idle node.
+  if (action != ReadyScope::RoundAction::Park) shard_worked_[pos] = 1;
+}
+
+void DistributedRunner::parallel_shard_task(std::size_t pos) noexcept {
+  // Pool tasks must not throw: surface worker-side failures (verify
+  // divergence, a throwing action) through the run thread instead.
+  try {
+    run_one_shard(pos, parallel_round_, parallel_announce_);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(parallel_mu_);
+    if (!parallel_error_) parallel_error_ = std::current_exception();
+  }
+  pending_shards_.fetch_sub(1, std::memory_order_release);
+}
+
+void DistributedRunner::run_shards_parallel(std::uint64_t r, int width) {
+  WorkerPool& pool = ensure_pool_width(width);
+  parallel_round_ = r;
+  pending_shards_.store(static_cast<int>(local_shards_.size()),
+                        std::memory_order_relaxed);
+  for (std::size_t pos = 0; pos < local_shards_.size(); ++pos) {
+    // The 16-byte [this, pos] capture fits std::function's inline storage:
+    // dealing a round allocates nothing (round/announce travel as members
+    // written above, published by launch()'s release edge).
+    pool.submit(static_cast<int>(pos) % width,
+                [this, pos](int) { parallel_shard_task(pos); });
+  }
+  in_parallel_round_ = true;
+  pool.launch();
+  // I/O overlap: while the shard tasks run, this thread keeps servicing the
+  // transport — inbound transfers park in the (striped-mutex, thread-safe)
+  // mailboxes, Advertise/RoundDone bounds advance, heartbeats go out. The
+  // gate proof makes this safe: every transfer stamped <= r-1 arrived
+  // before the Advertise that released gate(r-1), so anything arriving now
+  // is stamped >= r and the workers' <= r-1 drains never touch it. Probe
+  // frames are the one exception — answering one mid-round could combine a
+  // stale quiescence verdict with freshly drained mailboxes — so on_frame
+  // defers them until the round's frames are out (flush_deferred_probes).
+  bool pump_ok = transport_ != nullptr;
+  while (pending_shards_.load(std::memory_order_acquire) > 0) {
+    if (!pump_ok) {
+      if (transport_ == nullptr) break;  // nothing to overlap — park below
+      std::this_thread::yield();  // pump failed: just await the tasks
+      continue;
+    }
+    maybe_heartbeat();
+    if (pump(1) == Pump::kFailed)
+      pump_ok = false;
+    else
+      ++io_overlap_polls_;
+  }
+  pool.wait_idle();  // happens-before edge for every worker-side write
+  in_parallel_round_ = false;
+  ++parallel_rounds_;
+}
+
 bool DistributedRunner::run_round(std::uint64_t r) {
   route_ready_ledger();
+  const bool announce =
+      observer() != nullptr || static_cast<bool>(opts_.trace_hook);
+  const int width = node_parallel_width();
+  node_workers_ = static_cast<std::uint64_t>(width);
+  if (shard_deltas_.size() != local_shards_.size())
+    shard_deltas_.resize(local_shards_.size());
+  if (width >= 2) {
+    parallel_announce_ = announce;
+    run_shards_parallel(r, width);
+  } else {
+    for (std::size_t pos = 0; pos < local_shards_.size(); ++pos)
+      run_one_shard(pos, r, announce);
+  }
+  if (parallel_error_) {
+    std::exception_ptr error = parallel_error_;
+    parallel_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  // Announce-after-revalidation on the run thread, in shard id order then
+  // firing order. Every entry carries round r, so this is exactly the
+  // (round, shard) order the cross-node trace merge sorts by — identical
+  // for every worker width.
+  if (announce) {
+    RunObserver* obs = observer();
+    for (std::size_t pos = 0; pos < local_shards_.size(); ++pos) {
+      const int s = local_shards_[pos];
+      ShardState& shard = shards_[static_cast<std::size_t>(s)];
+      for (const FiredEvent& e : shard.fired_log) {
+        if (opts_.trace_hook)
+          opts_.trace_hook(r, s, *e.candidate.module, *e.candidate.transition,
+                           e.at);
+        if (obs != nullptr)
+          obs->on_fire(*e.candidate.module, *e.candidate.transition, e.at);
+      }
+      shard.fired_log.clear();
+    }
+  }
   bool any_work = false;
   bool any_fired = false;
   for (std::size_t pos = 0; pos < local_shards_.size(); ++pos) {
-    const int s = local_shards_[pos];
-    ShardState& shard = shards_[static_cast<std::size_t>(s)];
-    shard_worked_[pos] = 0;
-    // Marks produced while this shard drains/collects/fires route into its
-    // own scope, exactly like a free-running shard thread.
-    LocalReadyScopeBinding binding(shard.ready, s);
-    SimTime wm = shard.clock;
-    std::uint64_t min_future = kAllRounds;
-    for (InteractionPoint* ip : boundary_[pos])
-      ip->drain_transfers_until(r - 1, &wm, &min_future);
-    if (wm > shard.clock) shard.clock = wm;
-    SimTime clock = shard.clock;
-    const ReadyScope::RoundAction action =
-        shard.ready.next_round(&clock, run_deadline_);
-    stats_.guards_examined += shard.ready.round_guards();
-    if (shard.ready.round_allocated()) ++stats_.rounds_with_allocation;
-    switch (action) {
-      case ReadyScope::RoundAction::Fire:
-        if (verify_)
-          verify_against_full_scan(
-              {analysis_->shards()[static_cast<std::size_t>(s)].system_module},
-              shard.clock, shard.ready.candidates());
-        execute_shard_round(s, shard, r);
-        shard_worked_[pos] = 1;
-        any_work = true;
-        any_fired = true;
-        break;
-      case ReadyScope::RoundAction::Advance:
-        // Delay leap: an empty round, but not an idle node.
-        shard.clock = clock;
-        shard_worked_[pos] = 1;
-        any_work = true;
-        break;
-      case ReadyScope::RoundAction::Park:
-        break;
-    }
+    const ContinuationDelta& d = shard_deltas_[pos];
+    stats_.guards_examined += d.guards;
+    stats_.candidates_considered += d.cands;
+    stats_.rounds_with_allocation += d.alloc_rounds;
+    stats_.fired += d.fired;
+    stats_.busy += d.busy;
+    stats_.sched_time += d.sched;
+    if (shard_worked_[pos] != 0) any_work = true;
+    if (d.rounds != 0) any_fired = true;
   }
   if (any_fired) ++stats_.rounds;
   return any_work;
-}
-
-void DistributedRunner::execute_shard_round(int s, ShardState& shard,
-                                            std::uint64_t r) {
-  // The FreeRunning cost arithmetic, verbatim: scan cost for the guards this
-  // round's collection examined, then per-firing scheduling and execution
-  // costs. Outputs to foreign shards detour into mailboxes (local sibling)
-  // or replica endpoints (remote shard), stamped with this round's number.
-  ShardExecutionScope scope(s, shard.clock, r);
-  const std::vector<FiringCandidate>& cands = shard.ready.candidates();
-  const SimTime scan_cost{
-      scan_per_guard_.ns *
-      static_cast<std::int64_t>(shard.ready.round_guards())};
-  shard.clock += scan_cost;
-  stats_.sched_time += scan_cost;
-  stats_.candidates_considered += cands.size();
-  std::uint64_t fired_now = 0;
-  for (const FiringCandidate& c : cands) {
-    if (!is_fireable(*c.transition, *c.module, shard.clock)) continue;
-    shard.clock += sched_per_transition_;
-    stats_.sched_time += sched_per_transition_;
-    shard.clock += c.transition->cost;
-    stats_.busy += c.transition->cost;
-    if (opts_.trace_hook)
-      opts_.trace_hook(r, s, *c.module, *c.transition, shard.clock);
-    fire(c, shard.clock, observer());
-    ++fired_now;
-  }
-  shard.fired += fired_now;
-  ++shard.rounds;
-  stats_.fired += fired_now;
 }
 
 bool DistributedRunner::export_transfers(std::uint64_t r) {
@@ -818,6 +880,31 @@ bool DistributedRunner::await_termination() {
   }
 }
 
+void DistributedRunner::answer_probe(int from, std::uint64_t epoch) {
+  Frame ack;
+  ack.type = FrameType::ProbeAck;
+  ack.node = static_cast<std::uint32_t>(opts_.node);
+  ack.epoch = epoch;
+  ack.quiescent = ran_any_round_ && last_quiescent_ && !transfers_pending();
+  ack.sent = transfers_sent_;
+  ack.recv = transfers_recv_;
+  if (send_frame(from, ack)) transport_->flush();
+}
+
+bool DistributedRunner::flush_deferred_probes() {
+  // Index loop on purpose: answer_probe pumps on back-pressure, and a probe
+  // arriving during the flush is answered inline (in_parallel_round_ is
+  // false) rather than appended, so the vector cannot grow under us — but
+  // iterators could still be a latent hazard if that ever changes.
+  for (std::size_t i = 0; i < deferred_probes_.size(); ++i) {
+    const DeferredProbe p = deferred_probes_[i];
+    answer_probe(p.from, p.epoch);
+    if (!error_.empty()) return false;
+  }
+  deferred_probes_.clear();
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // The step loop
 
@@ -848,6 +935,7 @@ bool DistributedRunner::step() {
   if (!export_transfers(r)) return false;
   last_quiescent_ = !worked && !transfers_pending();
   if (!send_round_frames(r, last_quiescent_)) return false;
+  if (!flush_deferred_probes()) return false;
   round_ = r;
   ran_any_round_ = true;
   std::uint64_t burst = 1;
@@ -886,6 +974,11 @@ bool DistributedRunner::step() {
 void DistributedRunner::decorate_report(RunReport& report) {
   ShardedExecutor::decorate_report(report);
   if (transport_ != nullptr) report.transport = transport_->stats();
+  // Node-parallel counters live on the runner, not the transport, so they
+  // survive (and are reported) even for a transportless single-node world.
+  report.transport.node_workers = node_workers_;
+  report.transport.parallel_shard_rounds = parallel_rounds_;
+  report.transport.io_overlap_polls = io_overlap_polls_;
   if (!error_.empty()) {
     report.reason = StopReason::Aborted;
     report.error = error_;

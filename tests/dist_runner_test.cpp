@@ -16,7 +16,12 @@
 //     StopReason::Aborted and a description in RunReport::error — no hang,
 //     no std::terminate;
 //   * the null-message machinery actually runs: an idle pipeline stage
-//     services provably-empty rounds and the transport counts them.
+//     services provably-empty rounds and the transport counts them;
+//   * in-node parallelism is invisible: dealing a node's shards to a
+//     WorkerPool (DistOptions::worker_count) while the run thread pumps the
+//     transport produces the identical merged trace, worlds and fired
+//     counts at every width — with and without injected wire faults, in
+//     threads and in forked processes.
 #include <gtest/gtest.h>
 
 #include <signal.h>
@@ -386,6 +391,106 @@ TEST(DistRunner, TwoNodeLoopbackMergedTraceMatchesSequential) {
 }
 
 // ---------------------------------------------------------------------------
+// Node-parallel dispatch: WorkerPool rounds inside each node are invisible
+
+TEST(DistRunner, NodeParallelLoopbackSweepMatchesSequential) {
+  // The loopback sweep again, at every in-node width: worker_count 1 is the
+  // sequential per-node loop, 2 and 4 deal the node's shards to a
+  // WorkerPool while the run thread pumps the transport. The merged trace
+  // must not move by a single event at any width.
+  const int n = spec_count();
+  int swept = 0;
+  std::uint64_t parallel_rounds = 0;
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(n); ++seed) {
+    if (!eligible_for_two_nodes(seed)) continue;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const SeqBaseline seq = sequential_baseline(seed);
+    for (const int workers : {1, 2, 4}) {
+      SCOPED_TRACE("workers " + std::to_string(workers));
+      LoopbackHub hub(2);
+      std::vector<std::shared_ptr<MailboxTransport>> transports;
+      for (int node = 0; node < 2; ++node)
+        transports.push_back(
+            std::shared_ptr<MailboxTransport>(hub.endpoint(node)));
+      std::vector<NodeOutcome> nodes(2);
+      std::vector<std::thread> threads;
+      for (int node = 0; node < 2; ++node)
+        threads.emplace_back([&, node] {
+          nodes[static_cast<std::size_t>(node)] = run_generated_node(
+              seed, node, 2, transports[static_cast<std::size_t>(node)], true,
+              [workers](DistOptions& o) { o.worker_count = workers; });
+        });
+      for (std::thread& t : threads) t.join();
+      expect_matches_baseline(seq, nodes);
+      for (const NodeOutcome& node : nodes) {
+        parallel_rounds += node.report.transport.parallel_shard_rounds;
+        if (workers == 1)
+          EXPECT_EQ(node.report.transport.parallel_shard_rounds, 0u)
+              << "worker_count 1 must keep the sequential loop";
+      }
+      if (HasFatalFailure()) return;
+    }
+    ++swept;
+  }
+  if (n >= 50) {
+    EXPECT_GE(swept, 10);
+    // Vacuity guard: seeds with >= 2 shards on one node must exist, and on
+    // those the pool path (not the single-local-shard fallback) must run.
+    EXPECT_GT(parallel_rounds, 0u) << "no node ever dealt a parallel round";
+  }
+}
+
+TEST(DistRunner, SingleNodeParallelMatchesSequential) {
+  // A transportless single-node group at width >= 2: pure in-node
+  // parallelism, burst path included. The announced trace (replayed on the
+  // run thread in (round, shard) order) and the final world must equal
+  // Sequential verbatim.
+  const int n = spec_count();
+  int swept = 0;
+  std::uint64_t parallel_rounds = 0;
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(n); ++seed) {
+    if (!eligible_for_two_nodes(seed)) continue;  // >= 2 shards, no conflicts
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const SeqBaseline seq = sequential_baseline(seed);
+    for (const int workers : {2, 4}) {
+      SCOPED_TRACE("workers " + std::to_string(workers));
+      specgen::GeneratedWorld g = specgen::generate(seed);
+      DistOptions opts;
+      opts.worker_count = workers;
+      ExecutorConfig cfg;
+      cfg.kind = ExecutorKind::Distributed;
+      cfg.backend_options = opts;
+      auto executor = make_executor(*g.spec, cfg);
+      TraceRecorder trace;
+      const RunReport r = executor->run({.observers = {&trace}});
+      EXPECT_EQ(r.reason, StopReason::Quiescent) << r.error;
+      EXPECT_EQ(r.fired, seq.fired);
+      std::vector<std::string> labels;
+      for (const TraceEvent& e : trace.events())
+        labels.push_back(e.module_path + "/" + e.transition);
+      EXPECT_EQ(labels, seq.trace) << "announced trace diverged";
+      EXPECT_EQ(specgen::world_snapshot(*g.spec), seq.world_str)
+          << "single-node parallel world diverged";
+      // Width is capped at the node's shard count; >= 2 shards guaranteed
+      // by eligibility, so width 2 always engages the pool.
+      ConflictAnalysis analysis(*g.spec);
+      EXPECT_EQ(r.transport.node_workers,
+                std::min<std::uint64_t>(
+                    static_cast<std::uint64_t>(workers),
+                    static_cast<std::uint64_t>(analysis.shard_count())));
+      EXPECT_GT(r.transport.parallel_shard_rounds, 0u);
+      parallel_rounds += r.transport.parallel_shard_rounds;
+      if (HasFatalFailure()) return;
+    }
+    ++swept;
+  }
+  if (n >= 50) {
+    EXPECT_GE(swept, 10);
+    EXPECT_GT(parallel_rounds, 0u) << "the pool path never engaged";
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Two nodes, Unix-domain sockets (threads): the BER wire under TSan too
 
 TEST(DistRunner, TwoNodeUnixSocketDifferential) {
@@ -420,6 +525,50 @@ TEST(DistRunner, TwoNodeUnixSocketDifferential) {
 
     expect_matches_baseline(seq, nodes);
     // The socket path really serialized frames: bytes moved both ways.
+    EXPECT_GT(nodes[0].report.transport.bytes_sent, 0u);
+    EXPECT_GT(nodes[1].report.transport.bytes_sent, 0u);
+    ++swept;
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GE(swept, 1);
+}
+
+TEST(DistRunner, NodeParallelUnixSocketDifferential) {
+  // Node-parallel rounds over the real BER wire (threads, TSan-covered):
+  // the overlapped pump drains socket frames while the pool runs shards.
+  const int n = spec_count();
+  int swept = 0;
+  for (std::uint64_t seed = 1;
+       seed <= static_cast<std::uint64_t>(n) && swept < 4; ++seed) {
+    if (!eligible_for_two_nodes(seed)) continue;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const SeqBaseline seq = sequential_baseline(seed);
+    const int workers = (swept % 2 == 0) ? 2 : 4;
+    SCOPED_TRACE("workers " + std::to_string(workers));
+    const std::string dir = make_temp_dir();
+    ASSERT_FALSE(dir.empty());
+
+    std::vector<NodeOutcome> nodes(2);
+    std::vector<std::string> mesh_errors(2);
+    std::vector<std::thread> threads;
+    for (int node = 0; node < 2; ++node)
+      threads.emplace_back([&, node] {
+        auto mesh = StreamSocketTransport::unix_mesh(node, 2, dir);
+        if (!mesh.ok()) {
+          mesh_errors[static_cast<std::size_t>(node)] = mesh.error().message;
+          return;
+        }
+        nodes[static_cast<std::size_t>(node)] = run_generated_node(
+            seed, node, 2,
+            std::shared_ptr<MailboxTransport>(std::move(mesh.value())), true,
+            [workers](DistOptions& o) { o.worker_count = workers; });
+      });
+    for (std::thread& t : threads) t.join();
+    std::filesystem::remove_all(dir);
+    ASSERT_TRUE(mesh_errors[0].empty()) << mesh_errors[0];
+    ASSERT_TRUE(mesh_errors[1].empty()) << mesh_errors[1];
+
+    expect_matches_baseline(seq, nodes);
     EXPECT_GT(nodes[0].report.transport.bytes_sent, 0u);
     EXPECT_GT(nodes[1].report.transport.bytes_sent, 0u);
     ++swept;
@@ -565,7 +714,7 @@ TEST(DistRunner, BatchingCoalescesFanOutRounds) {
 /// checking happens in the parent — a child failure surfaces as a bad exit
 /// status or a non-quiescent result line, never a lost gtest assertion.
 void run_child_node(std::uint64_t seed, int node, const std::string& dir,
-                    const std::string& out_path) {
+                    const std::string& out_path, int workers) {
   specgen::GeneratedWorld g = specgen::generate(seed);
   auto mesh = StreamSocketTransport::unix_mesh(node, 2, dir);
   if (!mesh.ok()) {
@@ -580,6 +729,7 @@ void run_child_node(std::uint64_t seed, int node, const std::string& dir,
   opts.nodes = 2;
   opts.transport = std::shared_ptr<MailboxTransport>(std::move(mesh.value()));
   opts.gate_timeout_ms = 20000;
+  opts.worker_count = workers;
   opts.trace_hook = [&events](std::uint64_t r, int s, Module& m,
                               const Transition& t, SimTime) {
     events.push_back({r, s, m.path() + "/" + t.name});
@@ -673,7 +823,7 @@ FaultPlan sweep_plan(std::uint64_t fault_seed, int node) {
 /// actually ran.
 void run_fault_child_node(std::uint64_t seed, std::uint64_t fault_seed,
                           int node, const std::string& dir,
-                          const std::string& out_path) {
+                          const std::string& out_path, int workers) {
   specgen::GeneratedWorld g = specgen::generate(seed);
   auto mesh = StreamSocketTransport::unix_mesh(node, 2, dir);
   if (!mesh.ok()) {
@@ -689,6 +839,7 @@ void run_fault_child_node(std::uint64_t seed, std::uint64_t fault_seed,
   opts.nodes = 2;
   opts.transport = std::shared_ptr<MailboxTransport>(std::move(mesh.value()));
   opts.gate_timeout_ms = 20000;
+  opts.worker_count = workers;
   fast_session(opts);
   opts.trace_hook = [&events](std::uint64_t r, int s, Module& m,
                               const Transition& t, SimTime) {
@@ -742,6 +893,11 @@ TEST(DistRunner, MultiProcessUnixSocketDifferential) {
     const SeqBaseline seq = sequential_baseline(seed);
     const std::string dir = make_temp_dir();
     ASSERT_FALSE(dir.empty());
+    // Cycle the in-node width across the sweep: real processes must be
+    // differential-identical whether their shards run sequentially or on a
+    // WorkerPool overlapped with the socket pump.
+    const int workers = seed % 3 == 0 ? 1 : seed % 3 == 1 ? 2 : 4;
+    SCOPED_TRACE("workers " + std::to_string(workers));
 
     std::vector<pid_t> pids;
     for (int node = 0; node < 2; ++node) {
@@ -749,7 +905,7 @@ TEST(DistRunner, MultiProcessUnixSocketDifferential) {
       ASSERT_GE(pid, 0);
       if (pid == 0) {
         run_child_node(seed, node, dir,
-                       dir + "/result" + std::to_string(node));
+                       dir + "/result" + std::to_string(node), workers);
         ::_exit(4);  // unreachable
       }
       pids.push_back(pid);
@@ -808,6 +964,10 @@ TEST(DistRunner, WireFaultRecoveryPreservesUnixDifferential) {
   std::uint64_t faults = 0, reconnects = 0, replayed = 0;
   for (std::uint64_t fs = 1; fs <= 6; ++fs) {
     SCOPED_TRACE("fault seed " + std::to_string(fs));
+    // Faults × node-parallel widths under TSan: the width cycle proves
+    // recovery replay and the overlapped pump compose at every width.
+    const int workers = fs % 3 == 0 ? 1 : fs % 3 == 1 ? 2 : 4;
+    SCOPED_TRACE("workers " + std::to_string(workers));
     const std::string dir = make_temp_dir();
     ASSERT_FALSE(dir.empty());
     std::vector<NodeOutcome> nodes(2);
@@ -824,7 +984,10 @@ TEST(DistRunner, WireFaultRecoveryPreservesUnixDifferential) {
         nodes[static_cast<std::size_t>(node)] = run_generated_node(
             world_seed, node, 2,
             std::shared_ptr<MailboxTransport>(std::move(mesh.value())), true,
-            fast_session);
+            [workers](DistOptions& o) {
+              fast_session(o);
+              o.worker_count = workers;
+            });
       });
     for (std::thread& t : threads) t.join();
     std::filesystem::remove_all(dir);
@@ -919,6 +1082,10 @@ TEST(DistRunner, ForkedSeededFaultDifferentialSweep) {
     SCOPED_TRACE("fault seed " + std::to_string(fs));
     const std::string dir = make_temp_dir();
     ASSERT_FALSE(dir.empty());
+    // Faults × in-node parallelism: recovery must preserve the differential
+    // at every width, so the sweep cycles 1/2/4 workers per fault seed.
+    const int workers = fs % 3 == 0 ? 1 : fs % 3 == 1 ? 2 : 4;
+    SCOPED_TRACE("workers " + std::to_string(workers));
 
     std::vector<pid_t> pids;
     for (int node = 0; node < 2; ++node) {
@@ -926,7 +1093,7 @@ TEST(DistRunner, ForkedSeededFaultDifferentialSweep) {
       ASSERT_GE(pid, 0);
       if (pid == 0) {
         run_fault_child_node(world_seed, fs, node, dir,
-                             dir + "/result" + std::to_string(node));
+                             dir + "/result" + std::to_string(node), workers);
         ::_exit(4);  // unreachable
       }
       pids.push_back(pid);
